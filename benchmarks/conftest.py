@@ -1,0 +1,31 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one paper table/figure at ``SMOKE`` scale,
+asserts its qualitative shape (who wins, what drops, where floors sit)
+and archives the rendered table under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def archive(results_dir):
+    """Callable writing a rendered experiment table to an artifact file."""
+
+    def write(experiment_id: str, result) -> None:
+        path = results_dir / f"{experiment_id}.txt"
+        path.write_text(result.format_table() + "\n")
+
+    return write

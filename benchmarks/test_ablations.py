@@ -1,0 +1,134 @@
+"""Ablation benchmarks for the design choices DESIGN.md §7 calls out.
+
+These are not paper tables; they isolate the mechanisms behind them:
+
+* the sweep-counting attacker's cache-vs-interrupt signal split (drives
+  the Table 2 contrast),
+* softirq placement as the non-movable leakage path (drives Table 3's
+  irqbalance rung),
+* the VM amplification factor (drives Table 3's final rung), and
+* the classifier backends on identical data.
+"""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.config import SMOKE
+from repro.core.attacker import SweepCountingAttacker
+from repro.core.pipeline import FingerprintingPipeline
+from repro.ml.models import FeatureFingerprinter, LstmFingerprinter
+from repro.sim.machine import InterruptSynthesizer, MachineConfig
+from repro.sim.vm import VmConfig
+from repro.workload.browser import CHROME, LINUX
+from repro.workload.website import profile_for
+
+ABLATION_SCALE = SMOKE.with_(n_sites=6, traces_per_site=6, trace_seconds=4.0)
+
+
+def closed_world_accuracy(attacker=None, machine=None, scale=ABLATION_SCALE, seed=0):
+    pipeline = FingerprintingPipeline(
+        machine or MachineConfig(os=LINUX), CHROME,
+        attacker=attacker, scale=scale, seed=seed,
+    )
+    return pipeline.run_closed_world().top1.mean
+
+
+def test_sweep_signal_is_not_the_cache(benchmark, archive):
+    """Removing the cache channel entirely barely moves the sweep attack:
+    its discriminative signal is the interrupt channel (Takeaway 2)."""
+
+    def run():
+        with_cache = closed_world_accuracy(attacker=SweepCountingAttacker())
+        no_cache = closed_world_accuracy(
+            attacker=SweepCountingAttacker(occupancy_coupling=0.0)
+        )
+        return with_cache, no_cache
+
+    with_cache, no_cache = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = 1.0 / ABLATION_SCALE.n_sites
+    assert no_cache > 1.5 * base  # interrupt channel alone classifies
+    assert abs(with_cache - no_cache) < 0.25  # cache adds little
+
+
+def test_nonmovable_placement_is_the_irqbalance_leak(benchmark):
+    """With irqbalance on, the attacker's signal survives only because
+    the kernel places softirqs/IPIs on arbitrary cores.  Forcing all
+    deferred work to follow its (pinned) trigger core kills most of the
+    remaining leakage on the attacker core."""
+    from repro.sim.interrupts import NON_MOVABLE_TYPES, InterruptType
+
+    def stolen_on_attacker(follow_probability):
+        os_spec = replace(LINUX, softirq_follow_probability=follow_probability)
+        machine = MachineConfig(os=os_spec, irqbalance=True, pin_cores=True)
+        synthesizer = InterruptSynthesizer(machine)
+        total = 0.0
+        for seed in range(3):
+            rng = np.random.default_rng(seed)
+            site = profile_for("nytimes.com")
+            timeline = site.generate_load(rng, 4_000_000_000)
+            run = synthesizer.synthesize(timeline, style=site.style, rng=rng)
+            total += run.attacker_timeline.gaps.total_stolen_ns
+        return total
+
+    def run():
+        return stolen_on_attacker(0.6), stolen_on_attacker(1.0)
+
+    leaky, contained = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert contained < 0.8 * leaky
+
+
+def test_vm_amplification_scales_signal(benchmark):
+    """Stolen time grows monotonically with the VM amplification factor
+    (the §5.1 explanation for Table 3's counter-intuitive last rung)."""
+
+    def stolen_for(amplification):
+        vm = VmConfig(enabled=True, amplification=amplification)
+        machine = MachineConfig(os=LINUX, pin_cores=True, irqbalance=True, vm=vm)
+        synthesizer = InterruptSynthesizer(machine)
+        rng = np.random.default_rng(1)
+        site = profile_for("amazon.com")
+        timeline = site.generate_load(rng, 4_000_000_000)
+        run = synthesizer.synthesize(timeline, style=site.style, rng=rng)
+        return run.attacker_timeline.gaps.total_stolen_ns
+
+    def run():
+        return [stolen_for(a) for a in (1.0, 1.8, 2.6)]
+
+    stolen = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stolen[0] < stolen[1] < stolen[2]
+
+
+def test_classifier_backends_agree(benchmark):
+    """The fast feature backend and the paper's CNN+LSTM reach comparable
+    conclusions on identical data (the backend substitution is sound)."""
+    pipeline = FingerprintingPipeline(
+        MachineConfig(os=LINUX), CHROME,
+        scale=ABLATION_SCALE.with_(n_sites=4, traces_per_site=20), seed=2,
+    )
+    x, labels = pipeline.collect_closed_world()
+    from repro.ml.encoding import LabelEncoder
+
+    encoder = LabelEncoder()
+    y = encoder.fit_transform(labels)
+    split = np.arange(len(y)) % 5 != 0
+    base = 1.0 / encoder.n_classes
+
+    def run():
+        results = {}
+        feature = FeatureFingerprinter(seed=0).fit(x[split], y[split], encoder.n_classes)
+        results["feature"] = (
+            feature.predict_proba(x[~split]).argmax(axis=1) == y[~split]
+        ).mean()
+        lstm = LstmFingerprinter(
+            conv_filters=16, lstm_units=16, dropout=0.2, epochs=80,
+            learning_rate=0.003, patience=25, batch_size=16, seed=0,
+        ).fit(x[split], y[split], encoder.n_classes)
+        results["lstm"] = (
+            lstm.predict_proba(x[~split]).argmax(axis=1) == y[~split]
+        ).mean()
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert results["feature"] > 2 * base
+    assert results["lstm"] > 2 * base

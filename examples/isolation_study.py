@@ -1,0 +1,41 @@
+"""Isolation study: can the system isolate the attacker? (Table 3)
+
+Evaluates a native (undegraded-timer) loop-counting attacker while
+isolation mechanisms are stacked one at a time: disable frequency
+scaling, pin attacker/victim to separate cores, bind movable IRQs away
+with irqbalance, and finally run attacker and victim in separate VMs.
+
+The punchline (Takeaway 3): none of it stops the attack, and VM
+isolation makes things *worse* by amplifying every interrupt.
+
+Run:  python examples/isolation_study.py
+"""
+
+from repro import CHROME, SMOKE, FingerprintingPipeline
+from repro.isolation.ladder import isolation_ladder
+from repro.timers.spec import NATIVE_TIMER
+
+SCALE = SMOKE.with_(traces_per_site=8)
+
+
+def main() -> None:
+    print(f"Python attacker, {SCALE.n_sites} sites, closed world:")
+    previous = None
+    for step in isolation_ladder():
+        pipeline = FingerprintingPipeline(
+            step.machine, CHROME, scale=SCALE, timer=NATIVE_TIMER, seed=13
+        )
+        result = pipeline.run_closed_world()
+        delta = ""
+        if previous is not None:
+            delta = f"  ({(result.top1.mean - previous) * 100:+.1f})"
+        print(f"  {step.name:30s} top-1 {result.top1.as_percent()}%{delta}")
+        previous = result.top1.mean
+    print(
+        "\npaper reference: 95.2 -> 94.2 -> 94.0 -> 88.2 -> 91.6 "
+        "(VMs amplify interrupts and accuracy recovers)"
+    )
+
+
+if __name__ == "__main__":
+    main()

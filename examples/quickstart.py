@@ -1,0 +1,44 @@
+"""Quickstart: mount the loop-counting website-fingerprinting attack.
+
+Collects loop-counting traces (the paper's Fig 2b attacker) while a
+simulated victim loads websites in Chrome on Linux, then trains the
+fingerprinting classifier and reports closed-world accuracy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CHROME, SMOKE, FingerprintingPipeline, MachineConfig, profile_for
+from repro.core.collector import TraceCollector
+from repro.experiments.base import sparkline
+
+
+def show_example_traces() -> None:
+    """Collect and display one trace per marquee site (paper Fig 3)."""
+    collector = TraceCollector(MachineConfig(), CHROME, seed=7)
+    print("Example loop-counting traces (15 s, P = 5 ms):")
+    for name in ("nytimes.com", "amazon.com", "weather.com"):
+        trace = collector.collect_trace(profile_for(name))
+        vector = trace.to_vector()
+        print(
+            f"  {name:13s} counts {vector.min():6.0f}..{vector.max():6.0f}  "
+            f"{sparkline(vector, width=56)}"
+        )
+    print()
+
+
+def run_fingerprinting() -> None:
+    """Closed-world fingerprinting at smoke scale (fast)."""
+    pipeline = FingerprintingPipeline(MachineConfig(), CHROME, scale=SMOKE, seed=7)
+    print(
+        f"Fingerprinting {SMOKE.n_sites} websites x {SMOKE.traces_per_site} "
+        f"traces (closed world, {SMOKE.n_folds}-fold CV)..."
+    )
+    result = pipeline.run_closed_world()
+    base_rate = 100.0 / SMOKE.n_sites
+    print(f"  top-1 accuracy: {result.top1.as_percent()}%  (base rate {base_rate:.1f}%)")
+    print(f"  top-5 accuracy: {result.top5.as_percent()}%")
+
+
+if __name__ == "__main__":
+    show_example_traces()
+    run_fingerprinting()

@@ -1,0 +1,54 @@
+"""biggerfish: a full reproduction of "There's Always a Bigger Fish: A
+Clarifying Analysis of a Machine-Learning-Assisted Side-Channel Attack"
+(Cook, Drean, Behrens, Yan — ISCA 2022).
+
+The package simulates the complete experimental stack of the paper — a
+multi-core machine with a faithful interrupt system, website workloads,
+browser timers, the loop-counting and sweep-counting attackers, an
+eBPF-style kernel tracer, a numpy CNN+LSTM classifier — and regenerates
+every table and figure of the evaluation.
+
+Quick start::
+
+    from repro import FingerprintingPipeline, MachineConfig, CHROME, SMOKE
+
+    pipeline = FingerprintingPipeline(MachineConfig(), CHROME, scale=SMOKE)
+    result = pipeline.run_closed_world()
+    print(result.top1.as_percent())
+"""
+
+from repro.config import DEFAULT, PAPER, SCALES, SMOKE, Scale
+from repro.core import (
+    FingerprintingPipeline,
+    LoopCountingAttacker,
+    NoiseHooks,
+    SweepCountingAttacker,
+    Trace,
+    TraceCollector,
+    TraceSpec,
+    analyze_run,
+)
+from repro.sim import InterruptSynthesizer, InterruptType, MachineConfig, MachineRun
+from repro.workload import (
+    CHROME,
+    FIREFOX,
+    LINUX,
+    MACOS,
+    SAFARI,
+    TOR_BROWSER,
+    WINDOWS,
+    WebsiteProfile,
+    closed_world,
+    profile_for,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT", "PAPER", "SCALES", "SMOKE", "Scale", "FingerprintingPipeline",
+    "LoopCountingAttacker", "NoiseHooks", "SweepCountingAttacker", "Trace",
+    "TraceCollector", "TraceSpec", "analyze_run", "InterruptSynthesizer",
+    "InterruptType", "MachineConfig", "MachineRun", "CHROME", "FIREFOX",
+    "LINUX", "MACOS", "SAFARI", "TOR_BROWSER", "WINDOWS", "WebsiteProfile",
+    "closed_world", "profile_for", "__version__",
+]

@@ -1,0 +1,6 @@
+"""Last-level-cache substrate for the sweep-counting attack."""
+
+from repro.cache.llc import CORE_I5_LLC, CacheGeometry, LastLevelCache
+from repro.cache.sweep import SweepTimingModel
+
+__all__ = ["CORE_I5_LLC", "CacheGeometry", "LastLevelCache", "SweepTimingModel"]

@@ -1,0 +1,102 @@
+"""A set-associative last-level cache model.
+
+The sweep-counting attack (Shusterman et al.) allocates an LLC-sized
+buffer and measures how long it takes to touch every cache line; victim
+memory activity evicts attacker lines, slowing the next sweep.  This
+module provides an explicit set-associative, LRU-replacement cache used
+to (a) validate the analytic sweep-timing model in
+:mod:`repro.cache.sweep` and (b) support unit and property tests on
+cache behaviour itself.
+
+Addresses are line-granular: address ``a`` maps to set ``a % n_sets``
+with tag ``a // n_sets`` (physically-indexed, no slicing function —
+consistent with the attack's "no detailed knowledge of the cache's
+organization" premise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Shape of the cache: ``n_sets`` x ``n_ways`` lines of ``line_bytes``."""
+
+    n_sets: int = 8192
+    n_ways: int = 16
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.n_sets < 1 or self.n_ways < 1 or self.line_bytes < 1:
+            raise ValueError(f"invalid cache geometry {self}")
+
+    @property
+    def n_lines(self) -> int:
+        return self.n_sets * self.n_ways
+
+    @property
+    def size_bytes(self) -> int:
+        return self.n_lines * self.line_bytes
+
+
+#: Geometry mirroring the paper's Core-i5 test machines (8 MiB LLC).
+CORE_I5_LLC = CacheGeometry(n_sets=8192, n_ways=16, line_bytes=64)
+
+
+class LastLevelCache:
+    """Explicit LRU set-associative cache with per-owner occupancy stats."""
+
+    INVALID = -1
+
+    def __init__(self, geometry: CacheGeometry = CORE_I5_LLC):
+        self.geometry = geometry
+        # tags[s, w] = line tag; owners[s, w] = small int owner id.
+        self._tags = np.full((geometry.n_sets, geometry.n_ways), self.INVALID, dtype=np.int64)
+        self._owners = np.full((geometry.n_sets, geometry.n_ways), self.INVALID, dtype=np.int8)
+        # Per-way LRU age: higher = more recently used.
+        self._ages = np.zeros((geometry.n_sets, geometry.n_ways), dtype=np.int64)
+        self._clock = 0
+
+    def _set_and_tag(self, line_address: int) -> tuple[int, int]:
+        return line_address % self.geometry.n_sets, line_address // self.geometry.n_sets
+
+    def access(self, line_address: int, owner: int = 0) -> bool:
+        """Touch one line; returns True on hit, False on miss (fill)."""
+        if line_address < 0:
+            raise ValueError(f"line address cannot be negative: {line_address}")
+        set_idx, tag = self._set_and_tag(line_address)
+        self._clock += 1
+        ways = self._tags[set_idx]
+        hit_ways = np.flatnonzero((ways == tag) & (self._owners[set_idx] == owner))
+        if len(hit_ways):
+            self._ages[set_idx, hit_ways[0]] = self._clock
+            return True
+        victim = int(np.argmin(self._ages[set_idx]))
+        self._tags[set_idx, victim] = tag
+        self._owners[set_idx, victim] = owner
+        self._ages[set_idx, victim] = self._clock
+        return False
+
+    def access_block(self, start_line: int, n_lines: int, owner: int = 0) -> int:
+        """Touch ``n_lines`` consecutive lines; returns the miss count."""
+        if n_lines < 0:
+            raise ValueError(f"n_lines cannot be negative: {n_lines}")
+        misses = 0
+        for offset in range(n_lines):
+            if not self.access(start_line + offset, owner):
+                misses += 1
+        return misses
+
+    def occupancy(self, owner: int) -> float:
+        """Fraction of cache lines currently held by ``owner``."""
+        return float(np.count_nonzero(self._owners == owner)) / self.geometry.n_lines
+
+    def flush(self) -> None:
+        """Invalidate the whole cache."""
+        self._tags.fill(self.INVALID)
+        self._owners.fill(self.INVALID)
+        self._ages.fill(0)
+        self._clock = 0

@@ -1,0 +1,178 @@
+"""Trace collection: run an attacker against a victim on a machine.
+
+``TraceCollector`` wires together the whole stack — website profile →
+activity timeline → interrupt synthesis → attacker-loop walk through the
+browser timer — and produces :class:`~repro.core.trace.Trace` objects
+and labeled datasets.  This mirrors the paper's Selenium-automated data
+collection (§4.1): repeated site loads, one trace per load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.attacker import Attacker, LoopCountingAttacker
+from repro.core.trace import Trace, TraceSpec, stack_dataset
+from repro.sim.interrupts import InterruptBatch
+from repro.sim.machine import InterruptSynthesizer, MachineConfig, MachineRun
+from repro.timers.spec import TimerSpec
+from repro.workload.browser import Browser
+from repro.workload.phases import ActivityTimeline, merge_timelines
+from repro.workload.website import WebsiteProfile
+
+#: Hard cap on periods per trace, protecting against degenerate timers.
+_MAX_PERIODS = 2_000_000
+
+
+@dataclass
+class NoiseHooks:
+    """Optional noise sources applied during collection.
+
+    ``extra_timelines`` adds background activity (Slack/Spotify, or the
+    cache-sweep countermeasure's occupancy pressure);
+    ``interrupt_injector`` produces extra interrupt batches per run (the
+    §6.2 spurious-interrupt defense); ``load_stretch`` slows page loads
+    (the defense's +15.7 % load-time cost); ``occupancy_floor`` raises
+    LLC occupancy seen by sweeps (cache-sweep noise).
+    """
+
+    extra_timelines: Sequence[ActivityTimeline] = ()
+    interrupt_injector: Optional[object] = None
+    load_stretch: float = 1.0
+    occupancy_floor: float = 0.0
+
+
+class TraceCollector:
+    """Collects traces for one (machine, browser, attacker) configuration."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        browser: Browser,
+        attacker: Optional[Attacker] = None,
+        period_ns: Optional[int] = None,
+        timer: Optional[TimerSpec] = None,
+        seed: int = 0,
+    ):
+        self.machine = machine
+        self.browser = browser
+        self.attacker = attacker or LoopCountingAttacker()
+        self.period_ns = int(period_ns) if period_ns else 5_000_000  # paper default 5 ms
+        self.timer_spec = timer or browser.timer
+        self.seed = int(seed)
+        self.synthesizer = InterruptSynthesizer(machine)
+        self.spec = TraceSpec(horizon_ns=browser.horizon_ns, period_ns=self.period_ns)
+
+    # ------------------------------------------------------------------
+
+    def collect_trace(
+        self,
+        site: WebsiteProfile,
+        trace_index: int = 0,
+        noise: Optional[NoiseHooks] = None,
+    ) -> Trace:
+        """Load ``site`` once and record the attacker's trace."""
+        noise = noise or NoiseHooks()
+        rng = np.random.default_rng(
+            (self.seed * 1_000_003 + site.seed * 7_919 + trace_index) & 0x7FFFFFFF
+        )
+        run = self._simulate(site, rng, noise)
+        timer = self.timer_spec.build(seed=int(rng.integers(0, 2**31)))
+        return self._walk_periods(run, timer, rng, label=site.name)
+
+    def collect_dataset(
+        self,
+        sites: Sequence[WebsiteProfile],
+        traces_per_site: int,
+        noise: Optional[NoiseHooks] = None,
+        labels: Optional[Sequence[str]] = None,
+    ) -> tuple[np.ndarray, list[str]]:
+        """Collect ``traces_per_site`` traces per site into ``(X, y)``."""
+        if traces_per_site < 1:
+            raise ValueError(f"need at least one trace per site, got {traces_per_site}")
+        traces: list[Trace] = []
+        for site_idx, site in enumerate(sites):
+            label = labels[site_idx] if labels is not None else site.name
+            for k in range(traces_per_site):
+                trace = self.collect_trace(site, trace_index=k, noise=noise)
+                trace.label = label
+                traces.append(trace)
+        return stack_dataset(traces)
+
+    # ------------------------------------------------------------------
+
+    def _simulate(
+        self, site: WebsiteProfile, rng: np.random.Generator, noise: NoiseHooks
+    ) -> MachineRun:
+        stretch = self.browser.load_stretch * noise.load_stretch
+        timeline = site.generate_load(rng, self.spec.horizon_ns, time_stretch=stretch)
+        if noise.extra_timelines:
+            timeline = merge_timelines(
+                [timeline, *noise.extra_timelines], horizon_ns=self.spec.horizon_ns
+            )
+        extra_batches: list[tuple[int, InterruptBatch]] = []
+        if noise.interrupt_injector is not None:
+            extra_batches = noise.interrupt_injector.inject(
+                self.machine, self.spec.horizon_ns, rng
+            )
+        run = self.synthesizer.synthesize(
+            timeline, style=site.style, rng=rng, extra_batches=extra_batches
+        )
+        if noise.occupancy_floor > 0:
+            # A cache-sweeping defender competes with the victim for LLC
+            # lines: the victim's observable share shrinks while the
+            # baseline (and its chaos) rises.  The victim's evictions
+            # still land on top — which is why cache-sweep noise costs
+            # the sweep attack only ~2 points in the paper (Table 2).
+            floor = noise.occupancy_floor
+            run.occupancy_victim = (1.0 - floor) * run.occupancy_victim
+            run.occupancy_ambient = np.clip(run.occupancy_ambient + floor, 0.0, 1.0)
+        return run
+
+    def _walk_periods(
+        self,
+        run: MachineRun,
+        timer,
+        rng: np.random.Generator,
+        label: str,
+    ) -> Trace:
+        """Replay the attacker loop (Fig 2) over one simulated run."""
+        gaps = run.attacker_timeline.gaps
+        horizon = float(self.spec.horizon_ns)
+        period = float(self.period_ns)
+        noise_sigma = self.browser.measurement_noise
+        observed_starts: list[float] = []
+        counters: list[float] = []
+        timer.reset()
+        t = gaps.next_execution_time(0.0)
+        for _ in range(_MAX_PERIODS):
+            if t >= horizon:
+                break
+            obs_begin = timer.read(t)
+            t_cross = timer.first_crossing(t, period)
+            # The attacker only notices the crossing once it is executing
+            # again: a gap spanning the boundary stretches the period.
+            t_end = gaps.next_execution_time(t_cross)
+            if t_end <= t:  # degenerate timer (e.g. randomized, lagging)
+                t_end = gaps.next_execution_time(t + period)
+            exec_ns = gaps.executed_between(t, min(t_end, horizon))
+            counter = self.attacker.count(exec_ns, t, run, rng)
+            if noise_sigma > 0:
+                counter *= max(0.0, 1.0 + rng.normal(0.0, noise_sigma))
+            observed_starts.append(obs_begin)
+            counters.append(np.floor(max(counter, 0.0)))
+            t = t_end
+        else:
+            raise RuntimeError(
+                f"trace exceeded {_MAX_PERIODS} periods; timer never advances"
+            )
+        return Trace(
+            spec=self.spec,
+            observed_starts=np.array(observed_starts),
+            counters=np.array(counters),
+            label=label,
+            attacker=self.attacker.name,
+        )

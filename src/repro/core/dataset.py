@@ -1,0 +1,166 @@
+"""Trace dataset persistence and manipulation.
+
+The paper's pipeline separates trace collection (slow, Selenium-driven)
+from model training.  This module provides the same separation for the
+simulated stack: collected datasets can be saved to a single ``.npz``
+archive with their labels and collection metadata, reloaded, merged
+(e.g. closed world + open world), subsampled and split.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class TraceDataset:
+    """A labeled trace matrix with collection metadata."""
+
+    x: np.ndarray
+    labels: list[str]
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=np.float64)
+        if self.x.ndim != 2:
+            raise ValueError(f"expected (n_traces, length), got {self.x.shape}")
+        if len(self.labels) != len(self.x):
+            raise ValueError(
+                f"{len(self.labels)} labels for {len(self.x)} traces"
+            )
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    @property
+    def n_classes(self) -> int:
+        return len(set(self.labels))
+
+    @property
+    def trace_length(self) -> int:
+        return self.x.shape[1]
+
+    def class_counts(self) -> dict[str, int]:
+        """Traces per class label."""
+        counts: dict[str, int] = {}
+        for label in self.labels:
+            counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # manipulation
+    # ------------------------------------------------------------------
+
+    def select(self, indices: Sequence[int]) -> "TraceDataset":
+        """Subset by row indices."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return TraceDataset(
+            x=self.x[indices],
+            labels=[self.labels[int(i)] for i in indices],
+            metadata=dict(self.metadata),
+        )
+
+    def filter_classes(self, keep: Sequence[str]) -> "TraceDataset":
+        """Keep only traces whose label is in ``keep``."""
+        wanted = set(keep)
+        indices = [i for i, label in enumerate(self.labels) if label in wanted]
+        if not indices:
+            raise ValueError("no traces left after filtering")
+        return self.select(indices)
+
+    def merge(self, other: "TraceDataset") -> "TraceDataset":
+        """Concatenate two datasets (e.g. sensitive + non-sensitive)."""
+        if other.trace_length != self.trace_length:
+            raise ValueError(
+                f"trace lengths differ: {self.trace_length} vs {other.trace_length}"
+            )
+        return TraceDataset(
+            x=np.concatenate([self.x, other.x]),
+            labels=self.labels + other.labels,
+            metadata={**other.metadata, **self.metadata},
+        )
+
+    def train_test_split(
+        self, test_fraction: float = 0.2, seed: int = 0
+    ) -> tuple["TraceDataset", "TraceDataset"]:
+        """Stratified split preserving per-class proportions."""
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+        rng = np.random.default_rng(seed)
+        labels = np.array(self.labels)
+        test_idx: list[int] = []
+        for cls in np.unique(labels):
+            members = np.flatnonzero(labels == cls)
+            rng.shuffle(members)
+            n_test = max(int(round(len(members) * test_fraction)), 1)
+            if n_test >= len(members):
+                raise ValueError(
+                    f"class {cls!r} too small to split at {test_fraction}"
+                )
+            test_idx.extend(members[:n_test].tolist())
+        test_mask = np.zeros(len(self), dtype=bool)
+        test_mask[test_idx] = True
+        return self.select(np.flatnonzero(~test_mask)), self.select(
+            np.flatnonzero(test_mask)
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write the dataset to one ``.npz`` archive."""
+        path = Path(path)
+        np.savez_compressed(
+            path,
+            x=self.x,
+            labels=np.array(self.labels, dtype=object),
+            metadata=json.dumps({"format": _FORMAT_VERSION, **self.metadata}),
+        )
+
+    @classmethod
+    def load(cls, path) -> "TraceDataset":
+        """Read a dataset written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(path)
+        with np.load(path, allow_pickle=True) as archive:
+            metadata = json.loads(str(archive["metadata"]))
+            version = metadata.pop("format", None)
+            if version != _FORMAT_VERSION:
+                raise ValueError(f"unsupported dataset format {version!r}")
+            return cls(
+                x=archive["x"],
+                labels=[str(l) for l in archive["labels"]],
+                metadata=metadata,
+            )
+
+
+def collect_and_save(
+    collector,
+    sites,
+    traces_per_site: int,
+    path,
+    noise=None,
+    extra_metadata: Optional[Mapping] = None,
+) -> TraceDataset:
+    """Collect a dataset with ``collector`` and persist it."""
+    x, labels = collector.collect_dataset(sites, traces_per_site, noise=noise)
+    metadata = {
+        "attacker": collector.attacker.name,
+        "browser": collector.browser.name,
+        "period_ns": collector.period_ns,
+        "horizon_ns": collector.spec.horizon_ns,
+        "traces_per_site": traces_per_site,
+        **(extra_metadata or {}),
+    }
+    dataset = TraceDataset(x=x, labels=labels, metadata=metadata)
+    dataset.save(path)
+    return dataset

@@ -1,0 +1,165 @@
+"""End-to-end website-fingerprinting pipeline (paper §4.1).
+
+Combines trace collection, label encoding, classifier training and
+cross-validated evaluation for both of the paper's setups:
+
+* **closed world** — the attacker knows all N candidate sites and
+  classifies among them (base rate 1/N);
+* **open world** — the attacker knows N "sensitive" sites; the victim
+  also visits unknown sites, all labeled "non-sensitive", forming an
+  (N+1)-class problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.config import DEFAULT, Scale
+from repro.core.attacker import Attacker, LoopCountingAttacker
+from repro.core.collector import NoiseHooks, TraceCollector
+from repro.ml.crossval import CrossValResult, cross_validate, stratified_kfold
+from repro.ml.encoding import LabelEncoder
+from repro.ml.metrics import open_world_metrics
+from repro.ml.models import make_fingerprinter
+from repro.sim.events import MS
+from repro.sim.machine import MachineConfig
+from repro.stats.summary import MeanStd
+from repro.timers.spec import TimerSpec
+from repro.workload.browser import Browser
+from repro.workload.catalog import NON_SENSITIVE_LABEL, closed_world, open_world
+from repro.workload.website import WebsiteProfile
+
+from dataclasses import replace as _dc_replace
+
+
+@dataclass
+class OpenWorldResult:
+    """Open-world accuracies, matching Table 1's three sub-columns.
+
+    ``false_accusation_rate`` and ``missed_sensitive_rate`` decompose
+    the errors from the attacker's deployment perspective (see
+    :mod:`repro.ml.metrics`).
+    """
+
+    sensitive: MeanStd
+    non_sensitive: MeanStd
+    combined: MeanStd
+    false_accusation_rate: MeanStd | None = None
+    missed_sensitive_rate: MeanStd | None = None
+
+
+class FingerprintingPipeline:
+    """One attack configuration, ready to evaluate."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        browser: Browser,
+        attacker: Optional[Attacker] = None,
+        scale: Scale = DEFAULT,
+        timer: Optional[TimerSpec] = None,
+        period_ms: Optional[float] = None,
+        seed: int = 0,
+    ):
+        self.machine = machine
+        self.scale = scale
+        self.seed = int(seed)
+        trace_seconds = scale.scaled_trace_seconds(browser.trace_seconds)
+        self.browser = _dc_replace(browser, trace_seconds=trace_seconds)
+        self.attacker = attacker or LoopCountingAttacker()
+        period = period_ms if period_ms is not None else scale.period_ms
+        self.collector = TraceCollector(
+            machine,
+            self.browser,
+            attacker=self.attacker,
+            period_ns=int(period * MS),
+            timer=timer,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+
+    def sites(self) -> list[WebsiteProfile]:
+        """The closed-world candidate sites at this scale."""
+        return closed_world(self.scale.n_sites)
+
+    def collect_closed_world(
+        self, noise: Optional[NoiseHooks] = None
+    ) -> tuple[np.ndarray, list[str]]:
+        """Closed-world dataset ``(X, labels)``."""
+        return self.collector.collect_dataset(
+            self.sites(), self.scale.traces_per_site, noise=noise
+        )
+
+    def run_closed_world(self, noise: Optional[NoiseHooks] = None) -> CrossValResult:
+        """Collect and cross-validate the closed-world experiment."""
+        x, labels = self.collect_closed_world(noise=noise)
+        return self.evaluate(x, labels)
+
+    def evaluate(self, x: np.ndarray, labels: Sequence[str]) -> CrossValResult:
+        """Cross-validate this pipeline's classifier on a dataset."""
+        encoder = LabelEncoder()
+        y = encoder.fit_transform(list(labels))
+        return cross_validate(
+            lambda fold: make_fingerprinter(self.scale.backend, seed=self.seed + fold),
+            x,
+            y,
+            n_classes=encoder.n_classes,
+            n_folds=self.scale.n_folds,
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------
+
+    def run_open_world(self, noise: Optional[NoiseHooks] = None) -> OpenWorldResult:
+        """The paper's open-world experiment (§4.1, Table 1 right half)."""
+        x_sensitive, labels = self.collect_closed_world(noise=noise)
+        open_sites = open_world(self.scale.open_world_sites)
+        x_open, open_labels = self.collector.collect_dataset(
+            open_sites,
+            traces_per_site=1,
+            noise=noise,
+            labels=[NON_SENSITIVE_LABEL] * len(open_sites),
+        )
+        x = np.concatenate([x_sensitive, x_open])
+        all_labels = list(labels) + list(open_labels)
+        encoder = LabelEncoder()
+        y = encoder.fit_transform(all_labels)
+        non_sensitive_class = encoder.transform([NON_SENSITIVE_LABEL])[0]
+        fold_sensitive: list[float] = []
+        fold_non_sensitive: list[float] = []
+        fold_combined: list[float] = []
+        fold_false_accusation: list[float] = []
+        fold_missed: list[float] = []
+        for fold, (train_idx, test_idx) in enumerate(
+            stratified_kfold(y, self.scale.n_folds, self.seed)
+        ):
+            classifier = make_fingerprinter(self.scale.backend, seed=self.seed + fold)
+            classifier.fit(x[train_idx], y[train_idx], encoder.n_classes)
+            predictions = classifier.predict_proba(x[test_idx]).argmax(axis=1)
+            truth = y[test_idx]
+            correct = predictions == truth
+            sensitive_mask = truth != non_sensitive_class
+            fold_combined.append(float(correct.mean()))
+            if sensitive_mask.any():
+                fold_sensitive.append(float(correct[sensitive_mask].mean()))
+            if (~sensitive_mask).any():
+                fold_non_sensitive.append(float(correct[~sensitive_mask].mean()))
+            if sensitive_mask.any() and (~sensitive_mask).any():
+                errors = open_world_metrics(truth, predictions, int(non_sensitive_class))
+                fold_false_accusation.append(errors.false_accusation_rate)
+                fold_missed.append(errors.missed_sensitive_rate)
+        return OpenWorldResult(
+            sensitive=MeanStd.of(fold_sensitive),
+            non_sensitive=MeanStd.of(fold_non_sensitive),
+            combined=MeanStd.of(fold_combined),
+            false_accusation_rate=(
+                MeanStd.of(fold_false_accusation) if fold_false_accusation else None
+            ),
+            missed_sensitive_rate=(
+                MeanStd.of(fold_missed) if fold_missed else None
+            ),
+        )

@@ -1,0 +1,15 @@
+"""Countermeasures: timer defenses, interrupt noise, cache-sweep noise."""
+
+from repro.defenses.cache_noise import CacheSweepNoise, cache_noise_hooks
+from repro.defenses.interrupt_noise import (
+    PAGE_LOAD_OVERHEAD,
+    SpuriousInterruptInjector,
+    interrupt_noise_hooks,
+)
+from repro.defenses.timer_defense import TimerDefense, quantized_defense, randomized_defense
+
+__all__ = [
+    "CacheSweepNoise", "cache_noise_hooks", "PAGE_LOAD_OVERHEAD",
+    "SpuriousInterruptInjector", "interrupt_noise_hooks", "TimerDefense",
+    "quantized_defense", "randomized_defense",
+]

@@ -1,0 +1,15 @@
+"""One module per paper table/figure, plus the registry and CLI runner."""
+
+from repro.experiments.base import (
+    ExperimentResult,
+    format_rows,
+    get_experiment,
+    list_experiments,
+    register,
+    sparkline,
+)
+
+__all__ = [
+    "ExperimentResult", "format_rows", "get_experiment", "list_experiments",
+    "register", "sparkline",
+]

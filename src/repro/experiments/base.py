@@ -1,0 +1,86 @@
+"""Experiment infrastructure: results, formatting, registry.
+
+Every paper table and figure has a module in this package exposing
+``run(scale, seed) -> Result``; results know how to print themselves as
+the rows/series the paper reports.  The registry powers the
+``biggerfish`` CLI and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+from repro.config import DEFAULT, Scale
+
+
+class ExperimentResult(abc.ABC):
+    """Base class for experiment outputs."""
+
+    @abc.abstractmethod
+    def format_table(self) -> str:
+        """Human-readable rendition of the paper's table/figure."""
+
+    def __str__(self) -> str:
+        return self.format_table()
+
+
+def format_rows(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width text table."""
+    columns = [list(col) for col in zip(header, *rows)]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    def render(cells):
+        return "  ".join(cell.ljust(w) for cell, w in zip(cells, widths)).rstrip()
+    lines = [render(header), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines)
+
+
+def sparkline(values, width: int = 60) -> str:
+    """Compact ASCII rendition of a series (for trace figures)."""
+    import numpy as np
+
+    values = np.asarray(values, dtype=float)
+    if len(values) == 0:
+        return ""
+    if len(values) > width:
+        usable = (len(values) // width) * width
+        values = values[:usable].reshape(width, -1).mean(axis=1)
+    lo, hi = float(values.min()), float(values.max())
+    glyphs = " .:-=+*#%@"
+    if hi - lo < 1e-12:
+        return glyphs[0] * len(values)
+    scaled = ((values - lo) / (hi - lo) * (len(glyphs) - 1)).astype(int)
+    return "".join(glyphs[i] for i in scaled)
+
+
+#: Registered experiments: id -> run callable.
+_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator adding an experiment ``run`` function to the registry."""
+
+    def wrap(fn: Callable[..., ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = fn
+        return fn
+
+    return wrap
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up a registered experiment by id (e.g. ``"table1"``)."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_experiments() -> list[str]:
+    """All registered experiment ids."""
+    return sorted(_REGISTRY)

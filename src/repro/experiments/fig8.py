@@ -1,0 +1,98 @@
+"""Figure 8: real duration of one 5 ms attacker period per timer.
+
+Fig 8 histograms how much *real* time one nominally-5-ms attacker loop
+spans under each timer:
+
+* quantized (Δ = 100 ms, Tor): exactly one 100 ms step — the attacker
+  loses 5 ms granularity but measures 100 ms windows precisely;
+* jittered (Δ = 0.1 ms, Chrome): tightly clustered around 5 ms
+  (4.8–5.2 ms, roughly Gaussian);
+* randomized (ours): anywhere from ~0 to ~100 ms — the attacker cannot
+  know how much real time one loop took.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import DEFAULT, Scale
+from repro.experiments.base import ExperimentResult, format_rows, register
+from repro.sim.events import MS
+from repro.timers.spec import (
+    CHROME_TIMER,
+    RANDOMIZED_DEFENSE_TIMER,
+    TOR_TIMER,
+    TimerSpec,
+)
+
+#: The three timers compared in Figs 7 and 8, in the paper's order.
+TIMER_LINEUP: tuple[tuple[str, TimerSpec], ...] = (
+    ("Quantized (Tor, 100ms)", TOR_TIMER),
+    ("Jittered (Chrome, 0.1ms)", CHROME_TIMER),
+    ("Randomized (ours, 1ms)", RANDOMIZED_DEFENSE_TIMER),
+)
+
+
+@dataclass
+class PeriodDurationSample:
+    timer_name: str
+    durations_ms: np.ndarray
+
+    def stats(self) -> tuple[float, float, float, float]:
+        d = self.durations_ms
+        return float(d.min()), float(np.median(d)), float(d.max()), float(d.std())
+
+
+@dataclass
+class Fig8Result(ExperimentResult):
+    samples: list[PeriodDurationSample]
+    period_ms: float
+    n_periods: int
+
+    def format_table(self) -> str:
+        body = []
+        for s in self.samples:
+            lo, med, hi, std = s.stats()
+            body.append(
+                [s.timer_name, f"{lo:.2f}", f"{med:.2f}", f"{hi:.2f}", f"{std:.2f}"]
+            )
+        return (
+            f"Figure 8: real duration of one {self.period_ms:g}ms attacker loop "
+            f"({self.n_periods} periods)\n"
+            + format_rows(["timer", "min (ms)", "median", "max", "std"], body)
+        )
+
+    def sample_for(self, name_prefix: str) -> PeriodDurationSample:
+        for s in self.samples:
+            if s.timer_name.startswith(name_prefix):
+                return s
+        raise KeyError(name_prefix)
+
+
+@register("fig8")
+def run(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    period_ms: float = 5.0,
+    n_periods: int = 400,
+) -> Fig8Result:
+    """Measure back-to-back period durations under each timer.
+
+    No victim or interrupts here — the point is the timer's effect on
+    period-boundary detection in isolation.
+    """
+    samples = []
+    for name, spec in TIMER_LINEUP:
+        timer = spec.build(seed=seed)
+        t = 0.0
+        durations = []
+        for _ in range(n_periods):
+            t_next = timer.first_crossing(t, period_ms * MS)
+            durations.append((t_next - t) / MS)
+            t = t_next if t_next > t else t + 0.01 * MS
+        samples.append(
+            PeriodDurationSample(timer_name=name, durations_ms=np.array(durations))
+        )
+    return Fig8Result(samples=samples, period_ms=period_ms, n_periods=n_periods)

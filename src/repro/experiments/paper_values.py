@@ -1,0 +1,83 @@
+"""The paper's published numbers, for paper-vs-measured reporting.
+
+All values are from Cook et al., ISCA 2022 (Tables 1-4 and the running
+text).  Accuracies are percentages; ``None`` marks cells the paper
+leaves empty (the cache-occupancy baseline was not run on macOS).
+"""
+
+from __future__ import annotations
+
+#: Table 1, closed world: (browser, OS) -> (loop top-1, cache top-1).
+TABLE1_CLOSED = {
+    ("Chrome 92", "Linux"): (96.6, 91.4),
+    ("Chrome 92", "Windows"): (92.5, 80.0),
+    ("Chrome 92", "macOS"): (94.4, None),
+    ("Firefox 91", "Linux"): (95.3, 80.0),
+    ("Firefox 91", "Windows"): (91.9, 87.7),
+    ("Firefox 91", "macOS"): (94.4, None),
+    ("Safari 14", "macOS"): (96.6, 72.6),
+    ("Tor Browser 10", "Linux"): (49.8, 46.7),
+}
+
+#: Table 1, Tor top-5 row: (loop, cache).
+TABLE1_TOR_TOP5 = (86.4, 71.9)
+
+#: Table 1, open world: (browser, OS) ->
+#: (loop sensitive, loop non-sensitive, loop combined, cache combined).
+TABLE1_OPEN = {
+    ("Chrome 92", "Linux"): (95.8, 99.4, 97.2, 86.4),
+    ("Chrome 92", "Windows"): (91.4, 99.2, 94.5, 86.1),
+    ("Chrome 92", "macOS"): (92.4, 97.6, 94.3, None),
+    ("Firefox 91", "Linux"): (95.2, 99.9, 96.4, 87.4),
+    ("Firefox 91", "Windows"): (90.9, 99.6, 93.7, 87.7),
+    ("Firefox 91", "macOS"): (93.5, 98.6, 95.0, None),
+    ("Safari 14", "macOS"): (95.1, 99.0, 96.7, 80.5),
+    ("Tor Browser 10", "Linux"): (46.2, 89.8, 62.9, 62.9),
+}
+
+#: Table 2: attack -> (no noise, cache-sweep noise, interrupt noise).
+TABLE2 = {
+    "loop-counting": (95.7, 92.6, 62.0),
+    "sweep-counting": (78.4, 76.2, 55.3),
+}
+
+#: §6.2: average page-load time without/with the interrupt-noise
+#: extension, in seconds.
+PAGE_LOAD_SECONDS = (3.12, 3.61)
+
+#: Table 3: mechanism -> (top-1, top-5).
+TABLE3 = {
+    "Default": (95.2, 99.1),
+    "+ Disable frequency scaling": (94.2, 98.6),
+    "+ Pin to separate cores": (94.0, 98.3),
+    "+ Remove IRQ interrupts": (88.2, 97.3),
+    "+ Run in separate VMs": (91.6, 97.3),
+}
+
+#: Table 4: (timer, Δ ms, P ms) -> (top-1, top-5).
+TABLE4 = {
+    ("Jittered", 0.1, 5): (96.6, 99.4),
+    ("Quantized", 100, 5): (86.0, 96.9),
+    ("Randomized", 1, 5): (1.0, 5.1),
+    ("Randomized", 1, 100): (1.9, 6.9),
+    ("Randomized", 1, 500): (5.2, 13.7),
+}
+
+#: Fig 4: site -> Pearson r between loop and sweep averaged traces.
+FIG4_CORRELATIONS = {
+    "nytimes.com": 0.87,
+    "amazon.com": 0.79,
+    "weather.com": 0.94,
+}
+
+#: §5.2: fraction of >100 ns gaps attributed to interrupts.
+ATTRIBUTION_FRACTION = 0.99
+
+#: Fig 3: loop-counting counter range at P = 5 ms.
+FIG3_COUNTER_RANGE = (21_000, 27_000)
+
+#: Fig 6: minimum observed gap length (Meltdown-era kernel entry), ns.
+FIG6_GAP_FLOOR_NS = 1_500.0
+
+#: §4.2 background-noise robustness: accuracy without/with Slack+Spotify.
+BACKGROUND_NOISE = (96.6, 93.4)

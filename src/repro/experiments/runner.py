@@ -1,0 +1,92 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    biggerfish --list
+    biggerfish fig3 table2 --scale smoke --seed 1
+    biggerfish all --scale default
+
+Each experiment prints the paper table/figure it regenerates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+# Importing the experiment modules populates the registry.
+from repro.config import SCALES
+from repro.experiments import (  # noqa: F401  (registration side effects)
+    ablation_timer,
+    background_noise,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments.base import get_experiment, list_experiments
+from repro.viz.figures import render
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="biggerfish",
+        description=(
+            "Regenerate the tables and figures of 'There's Always a Bigger "
+            "Fish' (ISCA 2022) on the simulated substrate."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (e.g. table1 fig5), or 'all'",
+    )
+    parser.add_argument("--scale", choices=sorted(SCALES), default="default")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--save-dir",
+        default=None,
+        help="write rendered tables (.txt) and figures (.svg) here",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list or not args.experiments:
+        print("available experiments:", ", ".join(list_experiments()))
+        return 0
+    wanted = list_experiments() if args.experiments == ["all"] else args.experiments
+    scale = SCALES[args.scale]
+    save_dir = pathlib.Path(args.save_dir) if args.save_dir else None
+    if save_dir:
+        save_dir.mkdir(parents=True, exist_ok=True)
+    for experiment_id in wanted:
+        run = get_experiment(experiment_id)
+        started = time.time()
+        result = run(scale=scale, seed=args.seed)
+        elapsed = time.time() - started
+        print(f"=== {experiment_id} (scale={scale.name}, {elapsed:.1f}s) ===")
+        print(result.format_table())
+        print()
+        if save_dir:
+            (save_dir / f"{experiment_id}.txt").write_text(
+                result.format_table() + "\n"
+            )
+            svg = render(experiment_id, result)
+            if svg is not None:
+                (save_dir / f"{experiment_id}.svg").write_text(svg)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""K-fold cross-validation (paper §4.1).
+
+The paper uses standard 10-fold CV: each fold serves once as the
+held-out test set; the rest is split into training (81 % of the data)
+and validation (9 %, handled inside the LSTM backend's early stopping).
+Reported accuracy is the mean over folds, with its standard deviation
+(the ``±`` in Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.ml.models import Fingerprinter
+from repro.stats.summary import MeanStd, top_k_accuracy
+
+
+def stratified_kfold(
+    y: np.ndarray, n_folds: int, seed: int = 0
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(train_idx, test_idx)`` with per-class balance.
+
+    Stratification mirrors the paper's per-site trace counts: every fold
+    holds out roughly the same number of traces of each website.
+    """
+    y = np.asarray(y)
+    if n_folds < 2:
+        raise ValueError(f"need at least 2 folds, got {n_folds}")
+    rng = np.random.default_rng(seed)
+    fold_of = np.empty(len(y), dtype=np.int64)
+    for cls in np.unique(y):
+        members = np.flatnonzero(y == cls)
+        rng.shuffle(members)
+        fold_of[members] = np.arange(len(members)) % n_folds
+    for fold in range(n_folds):
+        test_idx = np.flatnonzero(fold_of == fold)
+        train_idx = np.flatnonzero(fold_of != fold)
+        if len(test_idx) == 0 or len(train_idx) == 0:
+            raise ValueError(
+                f"fold {fold} is degenerate; reduce n_folds or add data"
+            )
+        yield train_idx, test_idx
+
+
+@dataclass
+class CrossValResult:
+    """Per-fold and aggregate accuracies."""
+
+    fold_top1: list[float]
+    fold_top5: list[float]
+
+    @property
+    def top1(self) -> MeanStd:
+        return MeanStd.of(self.fold_top1)
+
+    @property
+    def top5(self) -> MeanStd:
+        return MeanStd.of(self.fold_top5)
+
+
+def cross_validate(
+    make_classifier: Callable[[int], Fingerprinter],
+    x: np.ndarray,
+    y: np.ndarray,
+    n_classes: int,
+    n_folds: int = 10,
+    seed: int = 0,
+    top_k: int = 5,
+) -> CrossValResult:
+    """Run k-fold CV; ``make_classifier(fold)`` builds a fresh model."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.int64)
+    fold_top1: list[float] = []
+    fold_top5: list[float] = []
+    for fold, (train_idx, test_idx) in enumerate(stratified_kfold(y, n_folds, seed)):
+        classifier = make_classifier(fold)
+        classifier.fit(x[train_idx], y[train_idx], n_classes)
+        probs = classifier.predict_proba(x[test_idx])
+        predictions = probs.argmax(axis=1)
+        fold_top1.append(float((predictions == y[test_idx]).mean()))
+        k = min(top_k, n_classes)
+        fold_top5.append(top_k_accuracy(probs, y[test_idx], k))
+    return CrossValResult(fold_top1=fold_top1, fold_top5=fold_top5)

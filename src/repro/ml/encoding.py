@@ -1,0 +1,38 @@
+"""Label encoding utilities."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class LabelEncoder:
+    """Maps string class labels to contiguous integer indices."""
+
+    def __init__(self) -> None:
+        self.classes: list[str] = []
+        self._index: dict[str, int] = {}
+
+    def fit(self, labels: Sequence[str]) -> "LabelEncoder":
+        self.classes = sorted(set(labels))
+        self._index = {label: i for i, label in enumerate(self.classes)}
+        return self
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.classes)
+
+    def transform(self, labels: Sequence[str]) -> np.ndarray:
+        if not self._index:
+            raise RuntimeError("encoder not fitted")
+        try:
+            return np.array([self._index[label] for label in labels], dtype=np.int64)
+        except KeyError as exc:
+            raise ValueError(f"unknown label {exc.args[0]!r}") from exc
+
+    def fit_transform(self, labels: Sequence[str]) -> np.ndarray:
+        return self.fit(labels).transform(labels)
+
+    def inverse(self, indices: Sequence[int]) -> list[str]:
+        return [self.classes[int(i)] for i in indices]

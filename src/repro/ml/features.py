@@ -1,0 +1,98 @@
+"""Feature extraction for the fast classifier backend.
+
+Traces are long (up to 10 000 samples at paper scale).  The fast backend
+summarizes each normalized trace into a compact feature vector:
+
+* mean-pooled trace shape (coarse temporal profile),
+* mean-pooled absolute first differences (where activity happens),
+* low-frequency FFT magnitudes (periodic structure), and
+* global summary statistics.
+
+These capture the same information the CNN front-end learns — where the
+counter dips and how violently — while training orders of magnitude
+faster, enabling the full Table 1/2/3/4 sweeps on a laptop.  DESIGN.md
+documents this as a declared substitution; the LSTM backend remains the
+faithful architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def mean_pool(x: np.ndarray, n_bins: int) -> np.ndarray:
+    """Mean-pool rows of ``x`` down to ``n_bins`` columns."""
+    if x.ndim != 2:
+        raise ValueError(f"expected (n, length), got {x.shape}")
+    n, length = x.shape
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be positive, got {n_bins}")
+    if length < n_bins:
+        # Short inputs: repeat-edge pad up to the bin count.
+        pad = np.repeat(x[:, -1:], n_bins - length, axis=1)
+        return np.concatenate([x, pad], axis=1)
+    usable = (length // n_bins) * n_bins
+    return x[:, :usable].reshape(n, n_bins, -1).mean(axis=2)
+
+
+@dataclass(frozen=True)
+class FeatureExtractor:
+    """Turns a batch of normalized traces into feature matrices."""
+
+    shape_bins: int = 64
+    diff_bins: int = 32
+    fft_bins: int = 96
+
+    def __post_init__(self) -> None:
+        if min(self.shape_bins, self.diff_bins, self.fft_bins) < 1:
+            raise ValueError("all feature bin counts must be positive")
+
+    @property
+    def n_features(self) -> int:
+        return self.shape_bins + self.diff_bins + self.fft_bins + 4
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Features for a batch of traces ``(n, length)``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"expected (n, length), got {x.shape}")
+        shape = mean_pool(x, self.shape_bins)
+        diffs = np.abs(np.diff(x, axis=1))
+        if diffs.shape[1] == 0:
+            diffs = np.zeros((len(x), 1))
+        diff_pooled = mean_pool(diffs, self.diff_bins)
+        spectrum = np.abs(np.fft.rfft(x - x.mean(axis=1, keepdims=True), axis=1))
+        # Energy-normalize so per-load gain (session bandwidth, caching)
+        # does not scale the spectral fingerprint, then pool narrowly:
+        # burst micro-structure (packet trains, render cadence) shows up
+        # as sharp lines in the 5-50 Hz band that survive 4-bin pooling.
+        spectrum = spectrum / (spectrum.sum(axis=1, keepdims=True) + 1e-12)
+        fft_feats = mean_pool(spectrum[:, 1 : 1 + 4 * self.fft_bins], self.fft_bins)
+        stats = np.column_stack(
+            [x.mean(axis=1), x.std(axis=1), x.min(axis=1), diffs.mean(axis=1)]
+        )
+        return np.concatenate([shape, diff_pooled, fft_feats, stats], axis=1)
+
+
+class Standardizer:
+    """Column-wise z-scoring fitted on the training split only."""
+
+    def __init__(self) -> None:
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "Standardizer":
+        self._mean = x.mean(axis=0)
+        self._std = x.std(axis=0)
+        self._std = np.where(self._std < 1e-12, 1.0, self._std)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self._mean is None or self._std is None:
+            raise RuntimeError("standardizer not fitted")
+        return (x - self._mean) / self._std
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)

@@ -1,0 +1,78 @@
+"""Multinomial logistic regression on numpy.
+
+The fast classifier backend: softmax regression with L2 regularization
+trained full-batch with Adam.  On the engineered features of
+:mod:`repro.ml.features` this is strong enough to reproduce every
+accuracy *ordering* in the paper while training in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.losses import softmax
+
+
+@dataclass
+class SoftmaxRegression:
+    """L2-regularized multinomial logistic regression."""
+
+    n_classes: int
+    learning_rate: float = 0.05
+    l2: float = 1e-4
+    epochs: int = 300
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_classes < 2:
+            raise ValueError(f"need at least two classes, got {self.n_classes}")
+        if self.learning_rate <= 0 or self.epochs < 1 or self.l2 < 0:
+            raise ValueError("invalid hyperparameters")
+        self.W: np.ndarray | None = None
+        self.b: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "SoftmaxRegression":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if x.ndim != 2 or len(x) != len(y):
+            raise ValueError("x must be (n, features) aligned with y")
+        if y.min() < 0 or y.max() >= self.n_classes:
+            raise ValueError("label outside class range")
+        n, d = x.shape
+        rng = np.random.default_rng(self.seed)
+        self.W = rng.normal(0.0, 0.01, size=(d, self.n_classes))
+        self.b = np.zeros(self.n_classes)
+        onehot = np.zeros((n, self.n_classes))
+        onehot[np.arange(n), y] = 1.0
+        m_w = np.zeros_like(self.W)
+        v_w = np.zeros_like(self.W)
+        m_b = np.zeros_like(self.b)
+        v_b = np.zeros_like(self.b)
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        for t in range(1, self.epochs + 1):
+            probs = softmax(x @ self.W + self.b)
+            grad_logits = (probs - onehot) / n
+            grad_w = x.T @ grad_logits + self.l2 * self.W
+            grad_b = grad_logits.sum(axis=0)
+            for param, grad, m, v in (
+                (self.W, grad_w, m_w, v_w),
+                (self.b, grad_b, m_b, v_b),
+            ):
+                m *= beta1
+                m += (1 - beta1) * grad
+                v *= beta2
+                v += (1 - beta2) * grad * grad
+                m_hat = m / (1 - beta1**t)
+                v_hat = v / (1 - beta2**t)
+                param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self.W is None or self.b is None:
+            raise RuntimeError("classifier not fitted")
+        return softmax(np.asarray(x, dtype=np.float64) @ self.W + self.b)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.predict_proba(x).argmax(axis=1)

@@ -1,0 +1,42 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-shift stabilization."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class SoftmaxCrossEntropy:
+    """Fused softmax + cross-entropy over integer class labels."""
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (batch, classes), got {logits.shape}")
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(labels) != len(logits):
+            raise ValueError("labels must align with logits")
+        if labels.min() < 0 or labels.max() >= logits.shape[1]:
+            raise ValueError("label outside class range")
+        probs = softmax(logits)
+        self._probs = probs
+        self._labels = labels
+        picked = probs[np.arange(len(labels)), labels]
+        return float(-np.log(np.clip(picked, 1e-12, None)).mean())
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss w.r.t. the logits."""
+        if self._probs is None or self._labels is None:
+            raise RuntimeError("backward called before forward")
+        grad = self._probs.copy()
+        grad[np.arange(len(self._labels)), self._labels] -= 1.0
+        return grad / len(self._labels)

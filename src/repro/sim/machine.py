@@ -1,0 +1,548 @@
+"""Machine assembly: victim activity in, per-core interrupt timelines out.
+
+``InterruptSynthesizer`` is the heart of the simulator.  Given a victim
+:class:`~repro.workload.phases.ActivityTimeline` and a machine
+configuration it generates every interrupt the machine would handle:
+
+* per-core scheduler timer ticks,
+* device IRQs for each activity burst, routed by the configured policy,
+* deferred softirqs / IRQ work that piggyback near the triggering IRQ,
+  placed wherever the kernel happens to process them (non-movable),
+* rescheduling IPIs and broadcast TLB shootdowns from compute phases,
+* load-driven timer-tick softirq work on every core,
+* unrelated background device IRQs,
+* scheduler contention slices (when the attacker is not pinned), and
+* any extra injected batches (the §6.2 spurious-interrupt defense).
+
+The result, a :class:`MachineRun`, carries one
+:class:`~repro.sim.timeline.CoreTimeline` per core plus the DVFS
+frequency schedule and the LLC occupancy curve — everything the
+attackers and the kernel tracer observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.sim.events import MS, SEC
+from repro.sim.frequency import FrequencyConfig, FrequencyTrace, TurboGovernor
+from repro.sim.interrupts import (
+    HandlerLatencyModel,
+    InterruptBatch,
+    InterruptType,
+)
+from repro.sim.routing import (
+    AffinitySourceRouting,
+    PinnedRouting,
+    RoutingPolicy,
+    SoftirqPlacement,
+)
+from repro.sim.scheduler import SchedulerConfig, contention_batch
+from repro.sim.timeline import CoreTimeline
+from repro.sim.vm import BARE_METAL, VmConfig
+from repro.workload.browser import LINUX, OperatingSystem
+from repro.workload.phases import (
+    KIND_PROFILES,
+    ActivityBurst,
+    ActivityTimeline,
+    BurstKind,
+)
+from repro.workload.website import SiteStyle
+
+#: Burst kind -> (device IRQ type, deferred softirq type).
+_KIND_IRQS: dict[BurstKind, tuple[Optional[InterruptType], Optional[InterruptType]]] = {
+    BurstKind.NETWORK: (InterruptType.NETWORK_RX, InterruptType.SOFTIRQ_NET_RX),
+    BurstKind.RENDER: (InterruptType.GRAPHICS, InterruptType.IRQ_WORK),
+    BurstKind.COMPUTE: (None, None),  # compute emits IPIs, handled separately
+    BurstKind.MEMORY: (None, None),
+    BurstKind.DISK: (InterruptType.DISK, InterruptType.SOFTIRQ_TASKLET),
+    BurstKind.INPUT: (InterruptType.KEYBOARD, None),
+}
+
+#: TLB shootdowns accompany rescheduling activity (observed in §5.2:
+#: "rescheduling interrupts ... often occur alongside TLB shootdowns").
+_TLB_FRACTION_OF_RESCHED = 0.45
+#: Deferred work runs shortly after its trigger (next tick or wakeup).
+_DEFERRED_DELAY_MEAN_NS = 0.5 * MS
+#: Probability a deferred item runs inside the next timer tick on its
+#: core (vs an immediate wakeup).  Piggybacked items merge into the
+#: tick's execution gap, which is why Fig 6's IRQ-work spike aligns
+#: with the timer-interrupt spike.  IRQ work cannot fire on its own at
+#: all, so it snaps almost always.
+_DEFERRED_TICK_SNAP_PROBABILITY = 0.7
+_IRQ_WORK_TICK_SNAP_PROBABILITY = 0.95
+#: Softirq-timer work per tick grows with system load (calibrated).
+_TICK_WORK_LOAD_FACTOR = 14.0
+#: Global rate multiplier applied to burst-driven interrupts (calibrated
+#: so full-intensity overlapping bursts steal ~15-20 % of a core).
+_BURST_RATE_SCALE = 2.0
+
+#: Rate of Turbo Boost transition stalls per core when enabled.
+_TURBO_ARTIFACT_RATE_HZ = 220.0
+
+#: Attacker-observable cache occupancy (see _distort_occupancy): the
+#: victim's nominal occupancy is capped by the sweeping attacker's own
+#: re-claims (residency), scaled by a per-run gain, and buried in
+#: ambient eviction noise from unrelated processes and prefetchers —
+#: noise that exists regardless of the victim, which is why the cache
+#: channel's SNR is poor (Takeaway 2).
+_OCCUPANCY_RESIDENCY = 0.12
+_OCCUPANCY_GAIN_SIGMA = 0.30
+_OCCUPANCY_NOISE_SIGMA = 0.15
+_OCCUPANCY_NOISE_SMOOTHING = 15
+
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static configuration of the simulated machine."""
+
+    n_cores: int = 4
+    os: OperatingSystem = LINUX
+    frequency: FrequencyConfig = field(default_factory=FrequencyConfig)
+    vm: VmConfig = BARE_METAL
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    #: Pin all movable IRQs to core 0 (Linux ``irqbalance``, Table 3).
+    irqbalance: bool = False
+    #: Pin attacker and victim to separate cores (``taskset``, Table 3).
+    pin_cores: bool = False
+    #: Model Intel Turbo Boost's unexplained execution stalls (paper
+    #: footnote 4): gaps that correspond to no OS activity.  The paper
+    #: runs with Turbo Boost *disabled* to get clean attribution, so the
+    #: default is off.
+    turbo_boost_artifacts: bool = False
+    #: Core the attacker process runs on.
+    attacker_core: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 2:
+            raise ValueError("the co-located attack model needs >= 2 cores")
+        if not 0 <= self.attacker_core < self.n_cores:
+            raise ValueError(
+                f"attacker core {self.attacker_core} out of range for {self.n_cores} cores"
+            )
+
+    def routing_policy(self) -> RoutingPolicy:
+        """Movable-IRQ routing under this configuration."""
+        if self.irqbalance:
+            # Pin device IRQs to a housekeeping core that is not the
+            # attacker's (core 0 by convention; the attacker uses core 1).
+            target = 0 if self.attacker_core != 0 else 1
+            return PinnedRouting(self.n_cores, target_core=target)
+        return AffinitySourceRouting(self.n_cores)
+
+    def with_isolation(self, **changes) -> "MachineConfig":
+        """Copy with isolation-mechanism fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass
+class MachineRun:
+    """Everything observable from one simulated victim run.
+
+    Occupancy is kept as two components: ``occupancy_victim`` is the
+    victim's (residency-capped, gain-scaled) share of the LLC as a
+    sweeping attacker can observe it; ``occupancy_ambient`` is eviction
+    noise from unrelated processes and prefetchers — present regardless
+    of the victim.  Noise countermeasures manipulate the two components
+    differently (a cache-sweeping defender shrinks the victim's share
+    while *raising* the ambient level).
+    """
+
+    cores: list[CoreTimeline]
+    frequency: FrequencyTrace
+    occupancy_times: np.ndarray
+    occupancy_victim: np.ndarray
+    occupancy_ambient: np.ndarray
+    config: MachineConfig
+    timeline: ActivityTimeline
+
+    @property
+    def attacker_timeline(self) -> CoreTimeline:
+        """Interrupt history of the attacker's core."""
+        return self.cores[self.config.attacker_core]
+
+    def occupancy_at(self, t_ns: np.ndarray | float) -> np.ndarray | float:
+        """Observable LLC occupancy in [0, 1] at time(s) ``t_ns``."""
+        victim, ambient = self.occupancy_components_at(t_ns)
+        return np.clip(victim + ambient, 0.0, 1.0)
+
+    def occupancy_components_at(
+        self, t_ns: np.ndarray | float
+    ) -> tuple[np.ndarray | float, np.ndarray | float]:
+        """``(victim, ambient)`` occupancy components at ``t_ns``."""
+        victim = np.interp(t_ns, self.occupancy_times, self.occupancy_victim)
+        ambient = np.interp(t_ns, self.occupancy_times, self.occupancy_ambient)
+        return victim, ambient
+
+
+class InterruptSynthesizer:
+    """Generates a :class:`MachineRun` from a victim activity timeline."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        platform = config.os.handler_cost_factor
+        self.latency_model = HandlerLatencyModel(platform_factor=platform)
+        self.softirq_placement = SoftirqPlacement(
+            follow_probability=config.os.softirq_follow_probability
+        )
+        self._governor = TurboGovernor(config.frequency)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def synthesize(
+        self,
+        timeline: ActivityTimeline,
+        style: SiteStyle | None = None,
+        rng: np.random.Generator | None = None,
+        extra_batches: Optional[Sequence[tuple[int, InterruptBatch]]] = None,
+    ) -> MachineRun:
+        """Simulate one victim run.
+
+        ``extra_batches`` is a list of ``(core, batch)`` pairs injected on
+        top of workload-driven interrupts (used by noise defenses).
+        """
+        style = style or SiteStyle()
+        rng = rng if rng is not None else np.random.default_rng()
+        per_core: list[list[InterruptBatch]] = [[] for _ in range(self.config.n_cores)]
+
+        tick_period_ns = SEC / self.config.os.tick_hz
+        tick_phases = rng.uniform(0, tick_period_ns, self.config.n_cores)
+        self._add_timer_ticks(per_core, timeline, rng, tick_phases)
+        self._add_burst_interrupts(per_core, timeline, style, rng, tick_phases)
+        self._add_tick_work(per_core, timeline, rng, tick_phases)
+        self._add_background(per_core, timeline.horizon_ns, rng)
+        if self.config.turbo_boost_artifacts:
+            self._add_turbo_artifacts(per_core, timeline, rng)
+        if not self.config.pin_cores:
+            batch = contention_batch(
+                timeline, self.config.scheduler, self.config.os.contention_scale, rng
+            )
+            per_core[self.config.attacker_core].append(batch)
+        for core, batch in extra_batches or ():
+            per_core[core].append(batch)
+
+        cores = [self._build_core(batches) for batches in per_core]
+        frequency = self._governor.run(timeline.load_at, timeline.horizon_ns, rng)
+        occ_times, occ_nominal = timeline.occupancy_curve()
+        occ_victim, occ_ambient = self._distort_occupancy(occ_nominal, rng)
+        return MachineRun(
+            cores=cores,
+            frequency=frequency,
+            occupancy_times=occ_times,
+            occupancy_victim=occ_victim,
+            occupancy_ambient=occ_ambient,
+            config=self.config,
+            timeline=timeline,
+        )
+
+    # ------------------------------------------------------------------
+    # generation stages
+    # ------------------------------------------------------------------
+
+    def _distort_occupancy(
+        self, occupancy: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Convert nominal victim occupancy into the attacker-observable one.
+
+        Three distortions, all rooted in how a sweeping attacker actually
+        measures the LLC: (1) the victim's residency is capped — the
+        attacker's constant sweeps re-claim lines, so the victim never
+        holds much of the cache; (2) a per-run gain (working-set size
+        varies across loads); (3) ambient, temporally-correlated eviction
+        noise from unrelated processes and prefetchers that is present
+        *regardless of the victim*.  The ambient noise does not shrink
+        when the victim's signal does, which is what makes the coarse
+        (0..~32 counts) cache channel far less reliable than the
+        fine-grained interrupt channel — the paper's central observation.
+        """
+        gain = rng.lognormal(0.0, _OCCUPANCY_GAIN_SIGMA)
+        white = rng.normal(0.0, _OCCUPANCY_NOISE_SIGMA, len(occupancy))
+        kernel = np.ones(_OCCUPANCY_NOISE_SMOOTHING) / _OCCUPANCY_NOISE_SMOOTHING
+        ambient = np.abs(np.convolve(white, kernel, mode="same"))
+        victim = np.clip(_OCCUPANCY_RESIDENCY * occupancy * gain, 0.0, 1.0)
+        return victim, ambient
+
+    def _build_core(self, batches: list[InterruptBatch]) -> CoreTimeline:
+        transformed = [
+            InterruptBatch(
+                itype=b.itype,
+                times=b.times,
+                durations=self.config.vm.transform_durations(b.durations),
+                cause=b.cause,
+            )
+            for b in batches
+        ]
+        return CoreTimeline.from_batches(transformed)
+
+    def _next_tick(
+        self, t: np.ndarray, core: np.ndarray, tick_phases: np.ndarray
+    ) -> np.ndarray:
+        """Time of the next timer tick at or after ``t`` on each core."""
+        period_ns = SEC / self.config.os.tick_hz
+        phase = tick_phases[core]
+        return phase + np.ceil(np.maximum(t - phase, 0.0) / period_ns) * period_ns
+
+    def _add_timer_ticks(
+        self,
+        per_core: list[list[InterruptBatch]],
+        timeline: ActivityTimeline,
+        rng: np.random.Generator,
+        tick_phases: np.ndarray,
+    ) -> None:
+        period_ns = SEC / self.config.os.tick_hz
+        for core in range(self.config.n_cores):
+            phase = tick_phases[core]
+            times = np.arange(phase, timeline.horizon_ns, period_ns, dtype=np.float64)
+            durations = self.latency_model.sample(InterruptType.TIMER, rng, len(times))
+            per_core[core].append(
+                InterruptBatch(InterruptType.TIMER, times, durations, cause="tick")
+            )
+
+    def _poisson_times(
+        self,
+        burst: ActivityBurst,
+        rate_hz: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Arrival times within a burst, honouring its micro-structure.
+
+        With ``ripple_hz`` set, arrivals concentrate in the on-phase of
+        an on/off pulse train (packet trains, frame cadence); the mean
+        rate over the burst is unchanged.
+        """
+        expected = rate_hz * burst.duration_ns / SEC
+        count = rng.poisson(expected)
+        if count == 0:
+            return np.empty(0, dtype=np.float64)
+        if burst.ripple_hz <= 0:
+            return np.sort(rng.uniform(burst.start_ns, burst.end_ns, count))
+        period_ns = SEC / burst.ripple_hz
+        n_windows = max(int(burst.duration_ns / period_ns), 1)
+        on_len_ns = burst.duty * period_ns
+        window = rng.integers(0, n_windows, count)
+        offset = rng.uniform(0.0, on_len_ns, count)
+        times = burst.start_ns + window * period_ns + offset
+        return np.sort(np.clip(times, burst.start_ns, burst.end_ns))
+
+    def _add_burst_interrupts(
+        self,
+        per_core: list[list[InterruptBatch]],
+        timeline: ActivityTimeline,
+        style: SiteStyle,
+        rng: np.random.Generator,
+        tick_phases: np.ndarray,
+    ) -> None:
+        routing = self.config.routing_policy()
+        for burst in timeline:
+            profile = KIND_PROFILES[burst.kind]
+            device_type, deferred_type = _KIND_IRQS[burst.kind]
+            if burst.kind is BurstKind.COMPUTE:
+                self._add_compute_ipis(per_core, burst, style, rng)
+                continue
+            if device_type is None:
+                continue
+            rate = profile.irq_rate_hz * burst.intensity * _BURST_RATE_SCALE
+            times = self._poisson_times(burst, rate, rng)
+            if not len(times):
+                continue
+            targets = routing.route_source(burst.source, len(times), rng)
+            durations = self.latency_model.sample(device_type, rng, len(times))
+            self._scatter(per_core, device_type, times, durations, targets, burst.source)
+            if deferred_type is not None:
+                self._add_deferred(
+                    per_core, burst, style, deferred_type, times, targets, profile,
+                    rng, tick_phases,
+                )
+
+    def _scatter(
+        self,
+        per_core: list[list[InterruptBatch]],
+        itype: InterruptType,
+        times: np.ndarray,
+        durations: np.ndarray,
+        targets: np.ndarray,
+        cause: str,
+    ) -> None:
+        for core in np.unique(targets):
+            mask = targets == core
+            per_core[int(core)].append(
+                InterruptBatch(itype, times[mask], durations[mask], cause=cause)
+            )
+
+    def _add_deferred(
+        self,
+        per_core: list[list[InterruptBatch]],
+        burst: ActivityBurst,
+        style: SiteStyle,
+        deferred_type: InterruptType,
+        trigger_times: np.ndarray,
+        trigger_cores: np.ndarray,
+        profile,
+        rng: np.random.Generator,
+        tick_phases: np.ndarray,
+    ) -> None:
+        coalescing = style.net_coalescing if deferred_type is InterruptType.SOFTIRQ_NET_RX else 1.0
+        keep_probability = min(profile.deferred_per_irq / coalescing, 1.0)
+        keep = rng.random(len(trigger_times)) < keep_probability
+        if not keep.any():
+            return
+        times = trigger_times[keep] + rng.exponential(_DEFERRED_DELAY_MEAN_NS, keep.sum())
+        cores = self.softirq_placement.place(trigger_cores[keep], self.config.n_cores, rng)
+        # Most deferred items drain inside the next timer tick on their
+        # core; the rest run on an immediate wakeup.
+        snap_probability = (
+            _IRQ_WORK_TICK_SNAP_PROBABILITY
+            if deferred_type is InterruptType.IRQ_WORK
+            else _DEFERRED_TICK_SNAP_PROBABILITY
+        )
+        snap = rng.random(len(times)) < snap_probability
+        times = np.where(snap, self._next_tick(times, cores, tick_phases), times)
+        durations = self.latency_model.sample(deferred_type, rng, keep.sum())
+        # Heavier bursts defer more work per softirq -> longer handlers.
+        # IRQ work is exempt: it only queues/kicks off the deferred
+        # operation, so its own handler stays short (Fig 6).
+        if deferred_type is not InterruptType.IRQ_WORK:
+            load_stretch = 1.0 + profile.duration_load_factor * burst.intensity * coalescing
+            durations = durations * load_stretch
+        order = np.argsort(times)
+        self._scatter(
+            per_core,
+            deferred_type,
+            times[order],
+            durations[order],
+            cores[order],
+            f"{burst.source}/deferred",
+        )
+
+    def _add_compute_ipis(
+        self,
+        per_core: list[list[InterruptBatch]],
+        burst: ActivityBurst,
+        style: SiteStyle,
+        rng: np.random.Generator,
+    ) -> None:
+        profile = KIND_PROFILES[BurstKind.COMPUTE]
+        rate = (
+            profile.irq_rate_hz
+            * burst.intensity
+            * style.resched_weight
+            * _BURST_RATE_SCALE
+        )
+        resched_times = self._poisson_times(burst, rate, rng)
+        if len(resched_times):
+            targets = rng.integers(0, self.config.n_cores, len(resched_times))
+            durations = self.latency_model.sample(
+                InterruptType.RESCHED_IPI, rng, len(resched_times)
+            )
+            stretch = 1.0 + profile.duration_load_factor * burst.intensity
+            self._scatter(
+                per_core,
+                InterruptType.RESCHED_IPI,
+                resched_times,
+                durations * stretch,
+                targets,
+                burst.source,
+            )
+        # TLB shootdowns broadcast to every core.
+        tlb_times = self._poisson_times(
+            burst, rate * _TLB_FRACTION_OF_RESCHED, rng
+        )
+        if len(tlb_times):
+            for core in range(self.config.n_cores):
+                durations = self.latency_model.sample(
+                    InterruptType.TLB_SHOOTDOWN, rng, len(tlb_times)
+                )
+                per_core[core].append(
+                    InterruptBatch(
+                        InterruptType.TLB_SHOOTDOWN,
+                        tlb_times,
+                        durations,
+                        cause=f"{burst.source}/tlb",
+                    )
+                )
+
+    def _add_tick_work(
+        self,
+        per_core: list[list[InterruptBatch]],
+        timeline: ActivityTimeline,
+        rng: np.random.Generator,
+        tick_phases: np.ndarray,
+    ) -> None:
+        """Load-proportional softirq work attached to timer ticks.
+
+        The kernel drains deferred timer work on every tick; under load
+        this work grows, stretching the gap each tick causes on *every*
+        core — a purely non-movable leakage path.  Arrivals coincide
+        with the core's tick times so the work merges into the tick's
+        execution gap.
+        """
+        period_ns = SEC / self.config.os.tick_hz
+        for core in range(self.config.n_cores):
+            phase = tick_phases[core]
+            ticks = np.arange(phase, timeline.horizon_ns, period_ns, dtype=np.float64)
+            loads = np.array([timeline.load_at(float(t)) for t in ticks])
+            active = loads > 0.02
+            if not active.any():
+                continue
+            times = ticks[active]
+            durations = self.latency_model.sample(
+                InterruptType.SOFTIRQ_TIMER, rng, len(times)
+            )
+            durations = durations * (1.0 + _TICK_WORK_LOAD_FACTOR * loads[active])
+            per_core[core].append(
+                InterruptBatch(
+                    InterruptType.SOFTIRQ_TIMER, times, durations, cause="tick_work"
+                )
+            )
+
+    def _add_turbo_artifacts(
+        self,
+        per_core: list[list[InterruptBatch]],
+        timeline: ActivityTimeline,
+        rng: np.random.Generator,
+    ) -> None:
+        """Turbo-transition stalls on every core (footnote 4).
+
+        Frequency transitions cluster around load changes; the stalls
+        are user-visible execution gaps that no kernel probe explains.
+        """
+        for core in range(self.config.n_cores):
+            expected = _TURBO_ARTIFACT_RATE_HZ * timeline.horizon_ns / SEC
+            count = rng.poisson(expected)
+            if not count:
+                continue
+            times = np.sort(rng.uniform(0, timeline.horizon_ns, count))
+            durations = self.latency_model.sample(InterruptType.UNKNOWN, rng, count)
+            per_core[core].append(
+                InterruptBatch(
+                    InterruptType.UNKNOWN, times, durations, cause="turbo_boost"
+                )
+            )
+
+    def _add_background(
+        self,
+        per_core: list[list[InterruptBatch]],
+        horizon_ns: int,
+        rng: np.random.Generator,
+    ) -> None:
+        routing = self.config.routing_policy()
+        sources = (
+            ("system/bg-net", InterruptType.NETWORK_RX, 0.45),
+            ("system/bg-disk", InterruptType.DISK, 0.35),
+            ("system/bg-usb", InterruptType.KEYBOARD, 0.20),
+        )
+        for source, itype, share in sources:
+            expected = self.config.os.background_irq_hz * share * horizon_ns / SEC
+            count = rng.poisson(expected)
+            if not count:
+                continue
+            times = np.sort(rng.uniform(0, horizon_ns, count))
+            targets = routing.route_source(source, count, rng)
+            durations = self.latency_model.sample(itype, rng, count)
+            self._scatter(per_core, itype, times, durations, targets, source)

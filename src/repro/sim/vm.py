@@ -1,0 +1,51 @@
+"""Virtual-machine isolation model.
+
+Table 3's final row runs attacker and victim in separate VMs and finds
+the attack gets *stronger* (+3.4 % top-1).  The paper's explanation: an
+interrupt routed to a core running a VM must be processed by both the
+host and the guest OS, and VM entries/exits are far more expensive than
+process-level context switches — so every gap the attacker observes is
+amplified.
+
+We model this as an affine transform on handler durations: each
+delivered interrupt costs ``duration × amplification + exit_overhead``.
+Amplification raises the signal-to-noise ratio of the interrupt channel,
+reproducing the counter-intuitive accuracy increase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.events import US
+
+
+@dataclass(frozen=True)
+class VmConfig:
+    """Virtualization parameters for the attacker's machine."""
+
+    enabled: bool = False
+    #: Host-plus-guest handling cost relative to bare metal.
+    amplification: float = 2.3
+    #: Fixed VM-exit/entry overhead added per interrupt.
+    exit_overhead_ns: float = 2.5 * US
+
+    def __post_init__(self) -> None:
+        if self.amplification < 1.0:
+            raise ValueError(
+                f"VM handling cannot be cheaper than bare metal: {self.amplification}"
+            )
+        if self.exit_overhead_ns < 0:
+            raise ValueError("exit overhead cannot be negative")
+
+    def transform_durations(self, durations_ns: np.ndarray) -> np.ndarray:
+        """Apply VM amplification to a batch of handler durations."""
+        if not self.enabled:
+            return durations_ns
+        return durations_ns * self.amplification + self.exit_overhead_ns
+
+
+BARE_METAL = VmConfig(enabled=False)
+SEPARATE_VMS = VmConfig(enabled=True)

@@ -1,0 +1,52 @@
+"""Small summary-statistics helpers shared by experiments and reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MeanStd:
+    """A mean with its standard deviation, formatted the paper's way."""
+
+    mean: float
+    std: float
+
+    def as_percent(self) -> str:
+        """Render like the paper's tables, e.g. ``96.6±0.8``."""
+        return f"{self.mean * 100:.1f}±{self.std * 100:.1f}"
+
+    @classmethod
+    def of(cls, values) -> "MeanStd":
+        values = np.asarray(values, dtype=np.float64)
+        if len(values) == 0:
+            raise ValueError("cannot summarize an empty sample")
+        std = float(values.std(ddof=1)) if len(values) > 1 else 0.0
+        return cls(mean=float(values.mean()), std=std)
+
+
+def pearson_r(a, b) -> float:
+    """Pearson correlation coefficient (Fig 4's r values)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shapes differ: {a.shape} vs {b.shape}")
+    if len(a) < 2:
+        raise ValueError("need at least two points")
+    if a.std() == 0 or b.std() == 0:
+        raise ValueError("correlation undefined for constant series")
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def top_k_accuracy(probabilities: np.ndarray, labels: np.ndarray, k: int) -> float:
+    """Fraction of rows whose true label is among the top-``k`` classes."""
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    labels = np.asarray(labels)
+    if probabilities.ndim != 2 or len(probabilities) != len(labels):
+        raise ValueError("probabilities must be (n, classes) aligned with labels")
+    if not 1 <= k <= probabilities.shape[1]:
+        raise ValueError(f"k={k} out of range for {probabilities.shape[1]} classes")
+    top = np.argsort(probabilities, axis=1)[:, -k:]
+    return float(np.mean([labels[i] in top[i] for i in range(len(labels))]))

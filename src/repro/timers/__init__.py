@@ -1,0 +1,22 @@
+"""Browser timer models (paper §6.1)."""
+
+from repro.timers.base import BrowserTimer, PreciseTimer
+from repro.timers.quantized import JitteredTimer, QuantizedTimer
+from repro.timers.randomized import RandomizedTimer
+from repro.timers.spec import (
+    CHROME_TIMER,
+    FIREFOX_TIMER,
+    NATIVE_TIMER,
+    RANDOMIZED_DEFENSE_TIMER,
+    SAFARI_TIMER,
+    TOR_TIMER,
+    TimerKind,
+    TimerSpec,
+)
+
+__all__ = [
+    "BrowserTimer", "PreciseTimer", "JitteredTimer", "QuantizedTimer",
+    "RandomizedTimer", "TimerKind", "TimerSpec", "CHROME_TIMER",
+    "FIREFOX_TIMER", "SAFARI_TIMER", "TOR_TIMER", "NATIVE_TIMER",
+    "RANDOMIZED_DEFENSE_TIMER",
+]

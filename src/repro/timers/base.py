@@ -1,0 +1,68 @@
+"""Browser timer interface.
+
+In-browser attackers are restricted to ``performance.now()``, whose
+output is deliberately degraded (paper §6.1): quantized to a resolution
+Δ, optionally jittered (Chrome), or — with the paper's proposed defense —
+randomized.  The attacker interacts with a timer in two ways:
+
+* ``read(t_real)``: the value returned at real time ``t_real``; and
+* ``first_crossing(t0, elapsed)``: the earliest real time at which the
+  observed time has advanced by at least ``elapsed`` since ``t0``, which
+  is the loop-period boundary in Fig 2's pseudo-code
+  (``while (time() - t_begin < P)``).
+
+Stateful timers (randomized) require time to be queried monotonically,
+matching a real program's access pattern.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class BrowserTimer(abc.ABC):
+    """A (possibly degraded) monotonic timer exposed to the attacker."""
+
+    @abc.abstractmethod
+    def read(self, t_real_ns: float) -> float:
+        """Observed timer value at real time ``t_real_ns``."""
+
+    @abc.abstractmethod
+    def first_crossing(self, t0_real_ns: float, elapsed_ns: float) -> float:
+        """Earliest real time ``t >= t0`` with ``read(t) - read(t0) >= elapsed``."""
+
+    def reset(self) -> None:
+        """Forget internal state (called between traces); default no-op."""
+
+
+class PreciseTimer(BrowserTimer):
+    """A perfect timer: observed time equals real time.
+
+    Used by native attackers (the Rust ``CLOCK_MONOTONIC`` poller of
+    §5.2) and as the identity baseline in timer tests.
+    """
+
+    def read(self, t_real_ns: float) -> float:
+        return float(t_real_ns)
+
+    def first_crossing(self, t0_real_ns: float, elapsed_ns: float) -> float:
+        if elapsed_ns < 0:
+            raise ValueError(f"elapsed must be non-negative, got {elapsed_ns}")
+        return float(t0_real_ns + elapsed_ns)
+
+
+class MonotonicQueryMixin:
+    """Guards stateful timers against out-of-order queries."""
+
+    def __init__(self) -> None:
+        self._last_query_ns = float("-inf")
+
+    def _check_monotonic(self, t_real_ns: float) -> None:
+        if t_real_ns < self._last_query_ns:
+            raise ValueError(
+                f"timer queried backwards: {t_real_ns} after {self._last_query_ns}"
+            )
+        self._last_query_ns = float(t_real_ns)
+
+    def _reset_monotonic(self) -> None:
+        self._last_query_ns = float("-inf")

@@ -1,0 +1,95 @@
+"""Resolution-reduced timers: plain quantization and Chrome-style jitter.
+
+Quantization (paper §6.1):  ``T_secure = floor(T_real / Δ) · Δ``.
+Tor Browser uses Δ = 100 ms, Firefox and Safari Δ = 1 ms.
+
+Chrome additionally adds deterministic jitter:
+``T_secure = floor(T_real / Δ) · Δ + ε`` with ``ε ∈ {0, Δ}`` computed
+from a hash of the quantization bucket so the output stays monotonic.
+Chrome's Δ is 0.1 ms.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.timers.base import BrowserTimer
+
+
+class QuantizedTimer(BrowserTimer):
+    """Floor-quantized timer with resolution ``delta_ns``."""
+
+    def __init__(self, delta_ns: float):
+        if delta_ns <= 0:
+            raise ValueError(f"resolution must be positive, got {delta_ns}")
+        self.delta_ns = float(delta_ns)
+
+    def read(self, t_real_ns: float) -> float:
+        return math.floor(t_real_ns / self.delta_ns) * self.delta_ns
+
+    def first_crossing(self, t0_real_ns: float, elapsed_ns: float) -> float:
+        if elapsed_ns < 0:
+            raise ValueError(f"elapsed must be non-negative, got {elapsed_ns}")
+        if elapsed_ns == 0:
+            return float(t0_real_ns)
+        bucket0 = math.floor(t0_real_ns / self.delta_ns)
+        # Observed time advances only on bucket boundaries; we need the
+        # bucket whose value is >= read(t0) + elapsed.
+        buckets_needed = math.ceil(elapsed_ns / self.delta_ns)
+        crossing = (bucket0 + buckets_needed) * self.delta_ns
+        # Floating-point guard: bucket boundaries computed by
+        # multiplication can floor into the previous bucket.
+        if self.read(crossing) - self.read(t0_real_ns) < elapsed_ns:
+            crossing = (bucket0 + buckets_needed + 1) * self.delta_ns
+        return crossing
+
+
+def _jitter_bit(bucket: int, seed: int) -> int:
+    """Deterministic pseudo-random bit for one quantization bucket."""
+    x = (bucket * 0x9E3779B97F4A7C15 + seed * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 31
+    x = (x * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 29
+    return x & 1
+
+
+class JitteredTimer(BrowserTimer):
+    """Chrome-style quantized timer with hash-derived jitter.
+
+    ``read(t) = bucket(t) · Δ + ε(bucket(t)) · Δ`` with ε ∈ {0, 1}.  The
+    deviation from real time is guaranteed to be < 2Δ, and the output is
+    non-decreasing because consecutive buckets differ by Δ while ε can
+    change by at most Δ.
+    """
+
+    def __init__(self, delta_ns: float, seed: int = 0):
+        if delta_ns <= 0:
+            raise ValueError(f"resolution must be positive, got {delta_ns}")
+        self.delta_ns = float(delta_ns)
+        self.seed = int(seed)
+
+    def _epsilon_ns(self, bucket: int) -> float:
+        return _jitter_bit(bucket, self.seed) * self.delta_ns
+
+    def read(self, t_real_ns: float) -> float:
+        bucket = math.floor(t_real_ns / self.delta_ns)
+        return bucket * self.delta_ns + self._epsilon_ns(bucket)
+
+    def first_crossing(self, t0_real_ns: float, elapsed_ns: float) -> float:
+        if elapsed_ns < 0:
+            raise ValueError(f"elapsed must be non-negative, got {elapsed_ns}")
+        if elapsed_ns == 0:
+            return float(t0_real_ns)
+        bucket0 = math.floor(t0_real_ns / self.delta_ns)
+        # The crossing bucket is within one of the jitter-free answer:
+        # observed diff = k·Δ + ε(b0+k) − ε(b0), and ε terms shift the
+        # requirement by at most ±Δ each.
+        k_base = math.ceil(elapsed_ns / self.delta_ns)
+        base = self.read(t0_real_ns)
+        for k in range(max(k_base - 1, 1), k_base + 4):
+            crossing = (bucket0 + k) * self.delta_ns
+            # Evaluate through read() so floating-point bucket rounding
+            # is consistent with what the attacker actually observes.
+            if self.read(crossing) - base >= elapsed_ns:
+                return max(crossing, float(t0_real_ns))
+        raise AssertionError("jittered crossing must occur within k_base + 3 buckets")

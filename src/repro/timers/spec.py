@@ -1,0 +1,79 @@
+"""Declarative timer specifications.
+
+Trace collection needs a fresh timer per trace (stateful timers must not
+leak state across runs), so browsers and defenses describe their timer as
+a :class:`TimerSpec` and the collector builds an instance per trace with
+a derived seed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.sim.events import MS
+from repro.timers.base import BrowserTimer, PreciseTimer
+from repro.timers.quantized import JitteredTimer, QuantizedTimer
+from repro.timers.randomized import RandomizedTimer
+
+
+class TimerKind(enum.Enum):
+    PRECISE = "precise"
+    QUANTIZED = "quantized"
+    JITTERED = "jittered"
+    RANDOMIZED = "randomized"
+
+
+@dataclass(frozen=True)
+class TimerSpec:
+    """Everything needed to build one browser timer."""
+
+    kind: TimerKind
+    resolution_ns: float = 0.1 * MS
+    alpha_range: tuple[int, int] = (5, 25)
+    beta_range: tuple[int, int] = (5, 25)
+    threshold_ns: float = 100 * MS
+
+    def build(self, seed: int = 0) -> BrowserTimer:
+        """Instantiate the timer this spec describes."""
+        if self.kind is TimerKind.PRECISE:
+            return PreciseTimer()
+        if self.kind is TimerKind.QUANTIZED:
+            return QuantizedTimer(self.resolution_ns)
+        if self.kind is TimerKind.JITTERED:
+            return JitteredTimer(self.resolution_ns, seed=seed)
+        if self.kind is TimerKind.RANDOMIZED:
+            return RandomizedTimer(
+                delta_ns=self.resolution_ns,
+                alpha_range=self.alpha_range,
+                beta_range=self.beta_range,
+                threshold_ns=self.threshold_ns,
+                seed=seed,
+            )
+        raise ValueError(f"unknown timer kind {self.kind!r}")
+
+    @property
+    def resolution_ms(self) -> float:
+        return self.resolution_ns / MS
+
+
+#: The timers shipped by real browsers (paper Table 1 column 2).
+CHROME_TIMER = TimerSpec(TimerKind.JITTERED, resolution_ns=0.1 * MS)
+#: Table 1 lists Firefox as "1 ms w/ jitter", but applying Chrome's
+#: ε ∈ {0, Δ} hash-jitter at Δ = 1 ms would vary each 5 ms attack period
+#: by ±20 % — incompatible with the paper's own 95.3 % Firefox accuracy.
+#: Firefox's ``privacy.reduceTimerPrecision`` is a clamp; we model it as
+#: pure 1 ms quantization (its jitter component is far below Δ).
+FIREFOX_TIMER = TimerSpec(TimerKind.QUANTIZED, resolution_ns=1 * MS)
+SAFARI_TIMER = TimerSpec(TimerKind.QUANTIZED, resolution_ns=1 * MS)
+TOR_TIMER = TimerSpec(TimerKind.QUANTIZED, resolution_ns=100 * MS)
+#: Native attackers (Python time.time(), Rust CLOCK_MONOTONIC).
+NATIVE_TIMER = TimerSpec(TimerKind.PRECISE)
+#: The paper's randomized-timer defense with its published parameters.
+RANDOMIZED_DEFENSE_TIMER = TimerSpec(
+    TimerKind.RANDOMIZED,
+    resolution_ns=1 * MS,
+    alpha_range=(5, 25),
+    beta_range=(5, 25),
+    threshold_ns=100 * MS,
+)

@@ -1,0 +1,140 @@
+"""Interrupt-timing histograms (Fig 5 and Fig 6 building blocks)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.events import MS, US
+from repro.sim.interrupts import InterruptType
+from repro.sim.machine import MachineRun
+from repro.tracing.attribution import attribute_gaps
+from repro.tracing.ebpf import KprobeTracer
+
+#: Fig 6's interrupt types, in the paper's plotting order.
+FIG6_TYPES: tuple[InterruptType, ...] = (
+    InterruptType.SOFTIRQ_NET_RX,
+    InterruptType.TIMER,
+    InterruptType.IRQ_WORK,
+    InterruptType.NETWORK_RX,
+)
+
+
+@dataclass
+class GapLengthHistogram:
+    """Distribution of observed gap lengths for one interrupt type."""
+
+    itype: InterruptType
+    bin_edges_ns: np.ndarray
+    counts: np.ndarray
+    samples: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.samples)
+
+    def mode_ns(self) -> float:
+        """Center of the most populated bin (Fig 6's visible spikes)."""
+        if not self.counts.sum():
+            return float("nan")
+        peak = int(np.argmax(self.counts))
+        return float((self.bin_edges_ns[peak] + self.bin_edges_ns[peak + 1]) / 2)
+
+    def min_ns(self) -> float:
+        return float(self.samples.min()) if len(self.samples) else float("nan")
+
+
+def _tracers_for(run: MachineRun, core: Optional[int]) -> list[KprobeTracer]:
+    """One tracer per requested core; ``core="all"``-style None-with-sentinel
+    is expressed by passing ``core=-1``: trace every core of the machine."""
+    if core == -1:
+        return [KprobeTracer(run, core=c) for c in range(len(run.cores))]
+    return [KprobeTracer(run, core=core)]
+
+
+def type_coincidence(
+    runs: Sequence[MachineRun],
+    subject: InterruptType,
+    companion: InterruptType,
+    core: Optional[int] = None,
+) -> float:
+    """Fraction of ``subject``-involving gaps that also contain ``companion``.
+
+    Quantifies Fig 6's piggybacking observation: IRQ work "cannot happen
+    on its own, and thus is typically run while processing a timer
+    interrupt" — so most IRQ-work gaps also contain a timer record.
+    """
+    hits = 0
+    total = 0
+    for run in runs:
+        for tracer in _tracers_for(run, core):
+            report = attribute_gaps(tracer)
+            for gap in report.gaps:
+                if subject in gap.interrupt_types:
+                    total += 1
+                    if companion in gap.interrupt_types:
+                        hits += 1
+    return hits / total if total else float("nan")
+
+
+def gap_length_histograms(
+    runs: Sequence[MachineRun],
+    core: Optional[int] = None,
+    types: Sequence[InterruptType] = FIG6_TYPES,
+    bin_width_ns: float = 0.25 * US,
+    max_ns: float = 12 * US,
+) -> Dict[InterruptType, GapLengthHistogram]:
+    """Per-type distributions of attacker-observed gap lengths (Fig 6).
+
+    ``runs`` plays the role of the paper's "50 page loads spanning 10
+    websites".  Gap lengths — not handler times — are histogrammed, so
+    piggybacking types (IRQ work, softirqs) inherit their host timer
+    tick's latency in the plot, exactly as the paper describes.
+    """
+    if bin_width_ns <= 0 or max_ns <= bin_width_ns:
+        raise ValueError("invalid histogram binning")
+    edges = np.arange(0, max_ns + bin_width_ns, bin_width_ns)
+    per_type: Dict[InterruptType, list[np.ndarray]] = {t: [] for t in types}
+    for run in runs:
+        for tracer in _tracers_for(run, core):
+            report = attribute_gaps(tracer)
+            for itype in types:
+                per_type[itype].append(report.gap_lengths_for_type(itype))
+    result: Dict[InterruptType, GapLengthHistogram] = {}
+    for itype in types:
+        samples = (
+            np.concatenate(per_type[itype]) if per_type[itype] else np.empty(0)
+        )
+        counts, _ = np.histogram(samples, bins=edges)
+        result[itype] = GapLengthHistogram(
+            itype=itype, bin_edges_ns=edges, counts=counts, samples=samples
+        )
+    return result
+
+
+def interrupt_time_series(
+    runs: Sequence[MachineRun],
+    core: Optional[int] = None,
+    window_ns: float = 100 * MS,
+    types: Optional[Sequence[InterruptType]] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Average fraction of time in interrupt handlers per window (Fig 5).
+
+    Averages the per-window handler-time share over ``runs`` (the
+    paper's "averaged over 100 runs").  Returns ``(window_starts_ns,
+    mean_fraction)``.
+    """
+    if not runs:
+        raise ValueError("need at least one run")
+    fractions = []
+    times = None
+    for run in runs:
+        tracer = KprobeTracer(run, core=core)
+        t, frac = tracer.handler_time_fraction(window_ns, types=types)
+        fractions.append(frac)
+        times = t if times is None else times
+    min_len = min(len(f) for f in fractions)
+    stacked = np.stack([f[:min_len] for f in fractions])
+    return times[:min_len], stacked.mean(axis=0)

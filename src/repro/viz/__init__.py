@@ -1,0 +1,6 @@
+"""Dependency-free SVG figure rendering."""
+
+from repro.viz.figures import RENDERERS, render
+from repro.viz.svg import PALETTE, Axis, Plot, stack_plots
+
+__all__ = ["RENDERERS", "render", "PALETTE", "Axis", "Plot", "stack_plots"]

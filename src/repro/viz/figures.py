@@ -1,0 +1,186 @@
+"""SVG renderers for each experiment result.
+
+Each ``render_*`` function takes the result object produced by the
+matching :mod:`repro.experiments` module and returns a complete SVG
+document resembling the paper's figure.  The CLI writes these out with
+``biggerfish <exp> --save-dir figures/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.events import MS, SEC, US
+from repro.viz.svg import PALETTE, Axis, Plot, stack_plots
+
+
+def render_fig3(result) -> str:
+    """Fig 3: shaded loop-counting traces, one strip per site."""
+    plots = []
+    for trace in result.traces:
+        vector = trace.to_vector()
+        lo, hi = vector.min(), vector.max()
+        normalized = (vector - lo) / max(hi - lo, 1e-9)
+        seconds = trace.spec.horizon_ns / SEC
+        plot = Plot(
+            Axis(0, seconds, "Time (s)"),
+            Axis(0, 1),
+            height=110,
+            title=f"{trace.label}  (counts {lo:.0f}-{hi:.0f})",
+        )
+        # Down-sample to ~600 cells for a smooth strip.
+        step = max(len(normalized) // 600, 1)
+        cells = normalized[: (len(normalized) // step) * step]
+        cells = cells.reshape(-1, step).mean(axis=1)
+        plot.heat_strip(cells, 0.1, 0.9)
+        plots.append(plot)
+    return stack_plots(plots, title="Figure 3: example loop-counting traces")
+
+
+def render_fig4(result, averages=None) -> str:
+    """Fig 4: normalized averaged traces per attacker (when provided),
+    otherwise a bar-style summary of the correlations."""
+    plot = Plot(
+        Axis(-0.5, len(result.rows) - 0.5, "website"),
+        Axis(0, 1.05, "r(loop, sweep)"),
+        title=f"Figure 4: attacker-trace correlation ({result.n_runs} runs)",
+    )
+    edges = np.arange(len(result.rows) + 1) - 0.5
+    plot.bars(edges, [row.correlation for row in result.rows], color=PALETTE[0])
+    for i, row in enumerate(result.rows):
+        plot.text(i - 0.3, min(row.correlation + 0.06, 1.0), row.site, size=9)
+    return plot.render()
+
+
+def render_fig5(result) -> str:
+    """Fig 5: stacked softirq/resched handler-time share per site."""
+    plots = []
+    for row in result.rows:
+        seconds = row.window_starts_ns / SEC
+        peak = max(float(row.total_fraction.max() * 100), 1.0)
+        plot = Plot(
+            Axis(0, float(seconds.max()), "Time (s)"),
+            Axis(0, peak * 1.15, "% of time"),
+            height=130,
+            title=row.site,
+        )
+        softirq = row.softirq_fraction * 100
+        total = row.total_fraction * 100
+        plot.area(seconds, 0, softirq, color=PALETTE[0], label="Softirq")
+        plot.area(seconds, softirq, total, color=PALETTE[1], label="Resched")
+        plots.append(plot)
+    return stack_plots(
+        plots, title="Figure 5: time spent processing interrupts"
+    )
+
+
+def render_fig6(result) -> str:
+    """Fig 6: per-type gap-length histograms."""
+    plots = []
+    for itype, hist in result.histograms.items():
+        if not hist.n_samples:
+            continue
+        counts = hist.counts.astype(float)
+        peak = counts.max() if counts.max() > 0 else 1.0
+        plot = Plot(
+            Axis(0, hist.bin_edges_ns[-1] / US, "Gap length (us)"),
+            Axis(0, peak * 1.1, "gaps"),
+            height=110,
+            title=itype.value,
+        )
+        plot.bars(hist.bin_edges_ns / US, counts, color=PALETTE[0])
+        plots.append(plot)
+    return stack_plots(plots, title="Figure 6: interrupt handling times")
+
+
+def render_fig7(result) -> str:
+    """Fig 7: observed-vs-real timer staircases with the ideal diagonal."""
+    plots = []
+    for sample in result.samples:
+        real_ms = sample.real_ns / MS
+        observed_ms = sample.observed_ns / MS
+        hi = float(real_ms.max())
+        plot = Plot(
+            Axis(0, hi, "Real time (ms)"),
+            Axis(0, hi * 1.05, "Observed (ms)"),
+            height=170,
+            title=sample.name,
+        )
+        plot.line(real_ms, real_ms, color="#999", dashed=True, label="ideal")
+        # Down-sample the staircase for readable SVG sizes.
+        step = max(len(real_ms) // 400, 1)
+        plot.steps(real_ms[::step], observed_ms[::step], color=PALETTE[0],
+                   label="observed")
+        plots.append(plot)
+    return stack_plots(plots, title="Figure 7: timer outputs")
+
+
+def render_fig8(result) -> str:
+    """Fig 8: distribution of real durations of one attacker loop."""
+    plots = []
+    for sample in result.samples:
+        durations = sample.durations_ms
+        hi = max(float(durations.max()) * 1.1, 1.0)
+        counts, edges = np.histogram(durations, bins=40, range=(0, hi))
+        plot = Plot(
+            Axis(0, hi, "Real time (ms)"),
+            Axis(0, max(counts.max(), 1) * 1.1, "periods"),
+            height=120,
+            title=sample.timer_name,
+        )
+        plot.bars(edges, counts, color=PALETTE[0])
+        plots.append(plot)
+    return stack_plots(
+        plots,
+        title=f"Figure 8: duration of one {result.period_ms:g}ms attacker loop",
+    )
+
+
+def render_table_bars(result, title: str, rows: list[tuple[str, float]]) -> str:
+    """Generic bar rendering for table-style results."""
+    plot = Plot(
+        Axis(-0.5, len(rows) - 0.5, ""),
+        Axis(0, 105, "top-1 accuracy (%)"),
+        width=640,
+        title=title,
+    )
+    edges = np.arange(len(rows) + 1) - 0.5
+    plot.bars(edges, [value for _, value in rows], color=PALETTE[0])
+    for i, (label, value) in enumerate(rows):
+        plot.text(i - 0.4, min(value + 5, 102), f"{label} {value:.1f}", size=8)
+    return plot.render()
+
+
+def render_table3(result) -> str:
+    rows = [
+        (row.mechanism.replace("+ ", ""), row.result.top1.mean * 100)
+        for row in result.rows
+    ]
+    return render_table_bars(result, "Table 3: isolation mechanisms", rows)
+
+
+def render_table4(result) -> str:
+    rows = [
+        (f"{row.timer_name} P={row.period_ms:g}", row.result.top1.mean * 100)
+        for row in result.rows
+    ]
+    return render_table_bars(result, "Table 4: timer defenses", rows)
+
+
+#: Experiment id -> renderer (tables 1/2 are textual only).
+RENDERERS = {
+    "fig3": render_fig3,
+    "fig4": render_fig4,
+    "fig5": render_fig5,
+    "fig6": render_fig6,
+    "fig7": render_fig7,
+    "fig8": render_fig8,
+    "table3": render_table3,
+    "table4": render_table4,
+}
+
+
+def render(experiment_id: str, result) -> str | None:
+    """SVG for a result, or None when no renderer exists."""
+    renderer = RENDERERS.get(experiment_id)
+    return renderer(result) if renderer else None

@@ -1,0 +1,35 @@
+"""Victim workloads: websites, browsers, operating systems, background apps."""
+
+from repro.workload.background import office_background, slack_timeline, spotify_timeline
+from repro.workload.browser import (
+    BROWSERS,
+    CHROME,
+    FIREFOX,
+    LINUX,
+    MACOS,
+    OPERATING_SYSTEMS,
+    SAFARI,
+    TOR_BROWSER,
+    WINDOWS,
+    Browser,
+    OperatingSystem,
+)
+from repro.workload.catalog import (
+    CLOSED_WORLD_SITES,
+    NON_SENSITIVE_LABEL,
+    closed_world,
+    marquee_sites,
+    open_world,
+)
+from repro.workload.phases import ActivityBurst, ActivityTimeline, BurstKind, merge_timelines
+from repro.workload.website import BurstTemplate, SiteStyle, WebsiteProfile, profile_for
+
+__all__ = [
+    "office_background", "slack_timeline", "spotify_timeline", "BROWSERS",
+    "CHROME", "FIREFOX", "LINUX", "MACOS", "OPERATING_SYSTEMS", "SAFARI",
+    "TOR_BROWSER", "WINDOWS", "Browser", "OperatingSystem",
+    "CLOSED_WORLD_SITES", "NON_SENSITIVE_LABEL", "closed_world",
+    "marquee_sites", "open_world", "ActivityBurst", "ActivityTimeline",
+    "BurstKind", "merge_timelines", "BurstTemplate", "SiteStyle",
+    "WebsiteProfile", "profile_for",
+]

@@ -1,0 +1,89 @@
+"""Background application noise (paper §4.2, "Robustness to Background
+Noise").
+
+The paper runs Slack and Spotify (playing music) alongside the attack
+and observes only a few points of accuracy drop.  Each app is modeled
+as an activity timeline overlaid on the victim's: Spotify streams audio
+(steady low-rate network + decode compute), Slack wakes periodically
+(sync pings, occasional renders).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.events import MS, SEC
+from repro.workload.phases import ActivityBurst, ActivityTimeline, BurstKind
+
+
+def spotify_timeline(
+    horizon_ns: int, rng: np.random.Generator, intensity: float = 0.18
+) -> ActivityTimeline:
+    """Continuous audio streaming: steady network trickle + decoding."""
+    if not 0.0 < intensity <= 1.0:
+        raise ValueError(f"intensity must be in (0, 1], got {intensity}")
+    bursts = [
+        ActivityBurst(
+            start_ns=0.0,
+            duration_ns=float(horizon_ns),
+            kind=BurstKind.NETWORK,
+            intensity=intensity,
+            source="spotify/stream",
+        ),
+        ActivityBurst(
+            start_ns=0.0,
+            duration_ns=float(horizon_ns),
+            kind=BurstKind.COMPUTE,
+            intensity=intensity * 0.5,
+            source="spotify/decode",
+        ),
+    ]
+    return ActivityTimeline(bursts, horizon_ns)
+
+
+def slack_timeline(
+    horizon_ns: int, rng: np.random.Generator, wake_interval_s: float = 2.5
+) -> ActivityTimeline:
+    """Periodic sync wakes with occasional render activity."""
+    if wake_interval_s <= 0:
+        raise ValueError(f"wake interval must be positive, got {wake_interval_s}")
+    bursts: list[ActivityBurst] = []
+    t = float(rng.uniform(0, wake_interval_s * SEC))
+    while t < horizon_ns - 50 * MS:
+        bursts.append(
+            ActivityBurst(
+                start_ns=t,
+                duration_ns=float(rng.uniform(40 * MS, 150 * MS)),
+                kind=BurstKind.NETWORK,
+                intensity=float(rng.uniform(0.1, 0.35)),
+                source="slack/sync",
+            )
+        )
+        if rng.random() < 0.3:
+            bursts.append(
+                ActivityBurst(
+                    start_ns=t + 30 * MS,
+                    duration_ns=float(rng.uniform(50 * MS, 200 * MS)),
+                    kind=BurstKind.RENDER,
+                    intensity=float(rng.uniform(0.1, 0.3)),
+                    source="slack/render",
+                )
+            )
+        t += rng.uniform(0.6, 1.4) * wake_interval_s * SEC
+    if not bursts:  # horizon shorter than one wake interval
+        bursts.append(
+            ActivityBurst(
+                start_ns=0.0,
+                duration_ns=float(max(horizon_ns // 2, 10 * MS + 1)),
+                kind=BurstKind.NETWORK,
+                intensity=0.15,
+                source="slack/sync",
+            )
+        )
+    return ActivityTimeline(bursts, horizon_ns)
+
+
+def office_background(horizon_ns: int, seed: int = 0) -> list[ActivityTimeline]:
+    """The paper's noise mix: Slack plus Spotify playing music."""
+    rng = np.random.default_rng(seed)
+    return [spotify_timeline(horizon_ns, rng), slack_timeline(horizon_ns, rng)]

@@ -1,0 +1,137 @@
+"""Tests for the explicit set-associative LLC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.llc import CORE_I5_LLC, CacheGeometry, LastLevelCache
+
+
+@pytest.fixture
+def small_cache():
+    return LastLevelCache(CacheGeometry(n_sets=8, n_ways=2, line_bytes=64))
+
+
+class TestCacheGeometry:
+    def test_core_i5_is_8mib(self):
+        assert CORE_I5_LLC.size_bytes == 8 * 1024 * 1024
+
+    def test_n_lines(self):
+        geometry = CacheGeometry(n_sets=4, n_ways=3)
+        assert geometry.n_lines == 12
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(n_sets=0, n_ways=1)
+
+
+class TestAccess:
+    def test_first_access_misses(self, small_cache):
+        assert small_cache.access(0) is False
+
+    def test_second_access_hits(self, small_cache):
+        small_cache.access(0)
+        assert small_cache.access(0) is True
+
+    def test_different_owner_same_line_misses(self, small_cache):
+        small_cache.access(0, owner=0)
+        assert small_cache.access(0, owner=1) is False
+
+    def test_negative_address_rejected(self, small_cache):
+        with pytest.raises(ValueError):
+            small_cache.access(-1)
+
+    def test_lru_eviction(self, small_cache):
+        # Set 0 has 2 ways; addresses 0, 8, 16 all map to set 0.
+        small_cache.access(0)
+        small_cache.access(8)
+        small_cache.access(16)  # evicts 0 (least recently used)
+        assert small_cache.access(8) is True
+        assert small_cache.access(0) is False
+
+    def test_lru_respects_recency(self, small_cache):
+        small_cache.access(0)
+        small_cache.access(8)
+        small_cache.access(0)  # refresh 0, so 8 is now LRU
+        small_cache.access(16)  # evicts 8
+        assert small_cache.access(0) is True
+        assert small_cache.access(8) is False
+
+    def test_distinct_sets_do_not_interfere(self, small_cache):
+        assert small_cache.access(0) is False
+        assert small_cache.access(1) is False
+        assert small_cache.access(0) is True
+
+
+class TestAccessBlock:
+    def test_cold_sweep_all_misses(self, small_cache):
+        n_lines = small_cache.geometry.n_lines
+        assert small_cache.access_block(0, n_lines) == n_lines
+
+    def test_warm_sweep_all_hits(self, small_cache):
+        n_lines = small_cache.geometry.n_lines
+        small_cache.access_block(0, n_lines)
+        assert small_cache.access_block(0, n_lines) == 0
+
+    def test_victim_eviction_causes_misses(self, small_cache):
+        """The cache-occupancy principle: victim activity slows sweeps."""
+        n_lines = small_cache.geometry.n_lines
+        small_cache.access_block(0, n_lines, owner=0)
+        # Victim touches half the cache with different addresses.
+        small_cache.access_block(n_lines, n_lines // 2, owner=1)
+        misses = small_cache.access_block(0, n_lines, owner=0)
+        assert misses >= n_lines // 2
+
+    def test_negative_count_rejected(self, small_cache):
+        with pytest.raises(ValueError):
+            small_cache.access_block(0, -1)
+
+
+class TestOccupancy:
+    def test_empty_cache_zero_occupancy(self, small_cache):
+        assert small_cache.occupancy(0) == 0.0
+
+    def test_full_sweep_full_occupancy(self, small_cache):
+        small_cache.access_block(0, small_cache.geometry.n_lines, owner=0)
+        assert small_cache.occupancy(0) == 1.0
+
+    def test_occupancies_sum_to_at_most_one(self, small_cache):
+        small_cache.access_block(0, 10, owner=0)
+        small_cache.access_block(100, 7, owner=1)
+        assert small_cache.occupancy(0) + small_cache.occupancy(1) <= 1.0
+
+    def test_flush_clears(self, small_cache):
+        small_cache.access_block(0, 16)
+        small_cache.flush()
+        assert small_cache.occupancy(0) == 0.0
+        assert small_cache.access(0) is False
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_repeat_access_hits(self, addresses):
+        """Accessing the same address twice in a row always hits."""
+        cache = LastLevelCache(CacheGeometry(n_sets=8, n_ways=2))
+        for address in addresses:
+            cache.access(address)
+            assert cache.access(address) is True
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_bounded(self, addresses):
+        cache = LastLevelCache(CacheGeometry(n_sets=16, n_ways=4))
+        for address in addresses:
+            cache.access(address, owner=address % 3)
+        total = sum(cache.occupancy(owner) for owner in range(3))
+        assert 0.0 < total <= 1.0
+
+    @given(st.integers(min_value=1, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_working_set_within_capacity_never_thrashes(self, n):
+        """A working set smaller than one way per set always fits."""
+        cache = LastLevelCache(CacheGeometry(n_sets=512, n_ways=2))
+        n = min(n, 512)
+        cache.access_block(0, n)
+        assert cache.access_block(0, n) == 0

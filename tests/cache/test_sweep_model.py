@@ -1,0 +1,82 @@
+"""Tests for the analytic sweep-timing model, validated against the
+explicit LRU cache."""
+
+import numpy as np
+import pytest
+
+from repro.cache.llc import CacheGeometry, LastLevelCache
+from repro.cache.sweep import SweepTimingModel
+
+
+class TestSweepTiming:
+    def test_idle_sweep_duration_matches_paper_rate(self):
+        """~32 sweeps per 5 ms period on an idle system (paper §3.3)."""
+        model = SweepTimingModel()
+        sweeps = model.sweeps_per_period(occupancy=0.0, period_ns=5_000_000)
+        assert 25 <= sweeps <= 40
+
+    def test_sweep_time_monotone_in_occupancy(self):
+        model = SweepTimingModel()
+        occupancies = np.linspace(0, 1, 11)
+        times = model.sweep_ns(occupancies)
+        assert np.all(np.diff(times) > 0)
+
+    def test_full_occupancy_materially_slower(self):
+        """The slope is deliberately shallow (see eviction_exposure), but
+        a fully-occupied LLC still visibly slows the sweep."""
+        model = SweepTimingModel()
+        assert 1.2 < model.sweep_ns(1.0) / model.sweep_ns(0.0) < 3.0
+
+    def test_occupancy_clipped(self):
+        model = SweepTimingModel()
+        assert model.sweep_ns(1.5) == model.sweep_ns(1.0)
+        assert model.sweep_ns(-0.5) == model.sweep_ns(0.0)
+
+    def test_scalar_and_array_agree(self):
+        model = SweepTimingModel()
+        assert model.sweep_ns(0.5) == pytest.approx(model.sweep_ns(np.array([0.5]))[0])
+
+    def test_expected_misses(self):
+        model = SweepTimingModel(eviction_exposure=0.5)
+        assert model.expected_misses(0.4) == pytest.approx(
+            model.geometry.n_lines * 0.4 * 0.5
+        )
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            SweepTimingModel().sweeps_per_period(0.0, 0)
+
+    def test_invalid_exposure_rejected(self):
+        with pytest.raises(ValueError):
+            SweepTimingModel(eviction_exposure=1.5)
+
+
+class TestModelAgainstExplicitCache:
+    """The analytic miss count tracks the LRU cache's actual behaviour."""
+
+    def test_miss_fraction_tracks_occupancy(self):
+        geometry = CacheGeometry(n_sets=64, n_ways=4)
+        n_lines = geometry.n_lines
+        rng = np.random.default_rng(3)
+        for victim_fraction in (0.25, 0.5, 0.75):
+            cache = LastLevelCache(geometry)
+            cache.access_block(0, n_lines, owner=0)  # attacker warms cache
+            # Victim touches a random subset of distinct lines.
+            n_victim = int(victim_fraction * n_lines)
+            addresses = rng.choice(n_lines, size=n_victim, replace=False) + n_lines
+            for address in addresses:
+                cache.access(int(address), owner=1)
+            occupancy = cache.occupancy(owner=1)
+            misses = cache.access_block(0, n_lines, owner=0)
+            miss_fraction = misses / n_lines
+            # The attacker's sweep misses at least on every line the
+            # victim displaced, and not more than ~2x that (LRU order
+            # effects as the sweep itself evicts victim lines).
+            assert miss_fraction >= occupancy * 0.9
+            assert miss_fraction <= min(2.5 * occupancy + 0.05, 1.0)
+
+    def test_model_exposure_is_conservative(self):
+        """The analytic exposure (<1) reflects the attacker re-claiming
+        lines mid-sweep, so predicted misses stay below the worst case."""
+        model = SweepTimingModel()
+        assert model.expected_misses(0.5) < model.geometry.n_lines * 0.5

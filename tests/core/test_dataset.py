@@ -1,0 +1,111 @@
+"""Tests for trace dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import TraceDataset, collect_and_save
+from repro.core.collector import TraceCollector
+from repro.sim.machine import MachineConfig
+from repro.workload.browser import CHROME, Browser
+from repro.workload.website import profile_for
+
+
+def make_dataset(n_per_class=4, n_classes=3, length=20, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.random((n_per_class * n_classes, length))
+    labels = [f"site{i // n_per_class}.com" for i in range(len(x))]
+    return TraceDataset(x=x, labels=labels, metadata={"seed": seed})
+
+
+class TestConstruction:
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError):
+            TraceDataset(x=np.ones(5), labels=["a"] * 5)
+        with pytest.raises(ValueError):
+            TraceDataset(x=np.ones((3, 4)), labels=["a"])
+
+    def test_properties(self):
+        dataset = make_dataset()
+        assert len(dataset) == 12
+        assert dataset.n_classes == 3
+        assert dataset.trace_length == 20
+        assert dataset.class_counts() == {
+            "site0.com": 4, "site1.com": 4, "site2.com": 4,
+        }
+
+
+class TestManipulation:
+    def test_select(self):
+        dataset = make_dataset()
+        subset = dataset.select([0, 5])
+        assert len(subset) == 2
+        assert subset.labels == [dataset.labels[0], dataset.labels[5]]
+
+    def test_filter_classes(self):
+        dataset = make_dataset()
+        filtered = dataset.filter_classes(["site1.com"])
+        assert set(filtered.labels) == {"site1.com"}
+        assert len(filtered) == 4
+
+    def test_filter_to_nothing_rejected(self):
+        with pytest.raises(ValueError):
+            make_dataset().filter_classes(["nope.com"])
+
+    def test_merge(self):
+        a = make_dataset(seed=0)
+        b = make_dataset(seed=1)
+        merged = a.merge(b)
+        assert len(merged) == 24
+
+    def test_merge_length_mismatch(self):
+        a = make_dataset(length=20)
+        b = make_dataset(length=30)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_train_test_split_stratified(self):
+        dataset = make_dataset(n_per_class=10)
+        train, test = dataset.train_test_split(test_fraction=0.2, seed=1)
+        assert len(train) + len(test) == len(dataset)
+        assert test.class_counts() == {c: 2 for c in dataset.class_counts()}
+
+    def test_split_validates_fraction(self):
+        with pytest.raises(ValueError):
+            make_dataset().train_test_split(test_fraction=1.0)
+
+    def test_split_rejects_tiny_classes(self):
+        dataset = make_dataset(n_per_class=1)
+        with pytest.raises(ValueError):
+            dataset.train_test_split(test_fraction=0.5)
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        dataset = make_dataset()
+        path = tmp_path / "traces.npz"
+        dataset.save(path)
+        loaded = TraceDataset.load(path)
+        np.testing.assert_array_equal(loaded.x, dataset.x)
+        assert loaded.labels == dataset.labels
+        assert loaded.metadata == {"seed": 0}
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            TraceDataset.load(tmp_path / "nope.npz")
+
+    def test_collect_and_save(self, tmp_path):
+        browser = Browser(
+            name=CHROME.name, timer=CHROME.timer, trace_seconds=2.0,
+            measurement_noise=CHROME.measurement_noise,
+        )
+        collector = TraceCollector(MachineConfig(), browser, seed=1)
+        path = tmp_path / "collected.npz"
+        dataset = collect_and_save(
+            collector, [profile_for("amazon.com")], 2, path,
+            extra_metadata={"os": "Linux"},
+        )
+        assert path.exists()
+        loaded = TraceDataset.load(path)
+        assert loaded.metadata["attacker"] == "loop-counting"
+        assert loaded.metadata["os"] == "Linux"
+        assert len(loaded) == 2

@@ -1,0 +1,78 @@
+"""Tests for the fingerprinting pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import FingerprintingPipeline
+from repro.sim.machine import MachineConfig
+from repro.workload.browser import CHROME, LINUX
+from repro.workload.catalog import NON_SENSITIVE_LABEL
+
+
+@pytest.fixture(scope="module")
+def pipeline(tiny_scale_module):
+    return FingerprintingPipeline(
+        MachineConfig(os=LINUX), CHROME, scale=tiny_scale_module, seed=3
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_scale_module():
+    from tests.conftest import TINY
+
+    return TINY
+
+
+class TestClosedWorld:
+    def test_dataset_shape(self, pipeline, tiny_scale_module):
+        x, labels = pipeline.collect_closed_world()
+        expected_rows = tiny_scale_module.n_sites * tiny_scale_module.traces_per_site
+        assert x.shape[0] == expected_rows
+        assert len(set(labels)) == tiny_scale_module.n_sites
+
+    def test_accuracy_beats_base_rate(self, pipeline, tiny_scale_module):
+        result = pipeline.run_closed_world()
+        base_rate = 1.0 / tiny_scale_module.n_sites
+        assert result.top1.mean > 2 * base_rate
+        assert len(result.fold_top1) == tiny_scale_module.n_folds
+
+    def test_top5_at_least_top1(self, pipeline):
+        result = pipeline.run_closed_world()
+        assert result.top5.mean >= result.top1.mean
+
+    def test_trace_length_scaled_for_browser(self, tiny_scale_module):
+        from repro.workload.browser import TOR_BROWSER
+
+        chrome_pipe = FingerprintingPipeline(
+            MachineConfig(os=LINUX), CHROME, scale=tiny_scale_module
+        )
+        tor_pipe = FingerprintingPipeline(
+            MachineConfig(os=LINUX), TOR_BROWSER, scale=tiny_scale_module
+        )
+        ratio = tor_pipe.browser.trace_seconds / chrome_pipe.browser.trace_seconds
+        assert ratio == pytest.approx(50 / 15)
+
+
+class TestOpenWorld:
+    def test_result_fields(self, pipeline):
+        result = pipeline.run_open_world()
+        for value in (result.sensitive, result.non_sensitive, result.combined):
+            assert 0.0 <= value.mean <= 1.0
+
+    def test_non_sensitive_label_reserved(self, pipeline, tiny_scale_module):
+        x, labels = pipeline.collect_closed_world()
+        assert NON_SENSITIVE_LABEL not in labels
+
+
+class TestLstmBackendPipeline:
+    def test_lstm_backend_end_to_end(self, tiny_scale_module):
+        """The paper-architecture backend runs through the full pipeline
+        (CV, top-k) — slower than the feature backend but wired the same."""
+        scale = tiny_scale_module.with_(backend="lstm", n_sites=3, traces_per_site=6)
+        pipeline = FingerprintingPipeline(
+            MachineConfig(os=LINUX), CHROME, scale=scale, seed=9
+        )
+        result = pipeline.run_closed_world()
+        assert len(result.fold_top1) == scale.n_folds
+        assert 0.0 <= result.top1.mean <= 1.0
+        assert result.top5.mean == 1.0  # top-5 of 3 classes is trivially 1

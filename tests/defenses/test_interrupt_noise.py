@@ -1,0 +1,71 @@
+"""Tests for the spurious-interrupt countermeasure."""
+
+import numpy as np
+import pytest
+
+from repro.defenses.interrupt_noise import (
+    PAGE_LOAD_OVERHEAD,
+    SpuriousInterruptInjector,
+    interrupt_noise_hooks,
+)
+from repro.sim.events import SEC
+from repro.sim.interrupts import InterruptType
+from repro.sim.machine import MachineConfig
+
+HORIZON = 5 * SEC
+
+
+class TestInjector:
+    def test_injects_on_every_core(self, rng):
+        machine = MachineConfig(n_cores=4)
+        batches = SpuriousInterruptInjector().inject(machine, HORIZON, rng)
+        cores = {core for core, _ in batches}
+        assert cores == {0, 1, 2, 3}
+
+    def test_spurious_type_and_cause(self, rng):
+        machine = MachineConfig()
+        for _, batch in SpuriousInterruptInjector().inject(machine, HORIZON, rng):
+            assert batch.itype is InterruptType.SPURIOUS
+            assert batch.cause == "defense_noise"
+
+    def test_thousands_of_interrupts(self, rng):
+        """§6.2: the extension generates thousands of interrupts."""
+        machine = MachineConfig()
+        batches = SpuriousInterruptInjector().inject(machine, HORIZON, rng)
+        total = sum(len(batch) for _, batch in batches)
+        assert total > 4_000
+
+    def test_times_sorted_within_horizon(self, rng):
+        machine = MachineConfig()
+        for _, batch in SpuriousInterruptInjector().inject(machine, HORIZON, rng):
+            assert np.all(np.diff(batch.times) >= 0)
+            assert batch.times.max() <= HORIZON
+
+    def test_rate_parameter_scales_volume(self, rng):
+        machine = MachineConfig()
+        light = SpuriousInterruptInjector(ping_rate_hz=200.0)
+        heavy = SpuriousInterruptInjector(ping_rate_hz=8_000.0)
+        n_light = sum(
+            len(b) for _, b in light.inject(machine, HORIZON, np.random.default_rng(0))
+        )
+        n_heavy = sum(
+            len(b) for _, b in heavy.inject(machine, HORIZON, np.random.default_rng(0))
+        )
+        assert n_heavy > 5 * n_light
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpuriousInterruptInjector(ping_rate_hz=-1)
+        with pytest.raises(ValueError):
+            SpuriousInterruptInjector(burst_fraction=2.0)
+
+
+class TestHooks:
+    def test_page_load_overhead_is_papers(self):
+        """3.12 s -> 3.61 s: +15.7 %."""
+        assert PAGE_LOAD_OVERHEAD == pytest.approx(1.157, abs=0.001)
+
+    def test_hooks_carry_injector_and_stretch(self):
+        hooks = interrupt_noise_hooks()
+        assert hooks.interrupt_injector is not None
+        assert hooks.load_stretch == pytest.approx(PAGE_LOAD_OVERHEAD)

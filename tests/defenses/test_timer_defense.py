@@ -1,0 +1,50 @@
+"""Tests for timer-based defenses."""
+
+import pytest
+
+from repro.defenses.timer_defense import quantized_defense, randomized_defense
+from repro.sim.events import MS
+from repro.timers.spec import TimerKind
+
+
+class TestQuantizedDefense:
+    def test_default_is_tor_resolution(self):
+        defense = quantized_defense()
+        assert defense.spec.kind is TimerKind.QUANTIZED
+        assert defense.spec.resolution_ns == 100 * MS
+
+    def test_custom_resolution(self):
+        defense = quantized_defense(resolution_ms=10.0)
+        assert defense.spec.resolution_ns == 10 * MS
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            quantized_defense(resolution_ms=0)
+
+    def test_buildable(self):
+        timer = quantized_defense().spec.build()
+        assert timer.read(150 * MS) == 100 * MS
+
+
+class TestRandomizedDefense:
+    def test_published_defaults(self):
+        defense = randomized_defense()
+        assert defense.spec.kind is TimerKind.RANDOMIZED
+        assert defense.spec.resolution_ns == 1 * MS
+        assert defense.spec.alpha_range == (5, 25)
+        assert defense.spec.beta_range == (5, 25)
+        assert defense.spec.threshold_ns == 100 * MS
+
+    def test_custom_parameters(self):
+        defense = randomized_defense(delta_ms=2.0, threshold_ms=50.0)
+        assert defense.spec.resolution_ns == 2 * MS
+        assert defense.spec.threshold_ns == 50 * MS
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            randomized_defense(delta_ms=0)
+        with pytest.raises(ValueError):
+            randomized_defense(threshold_ms=-1)
+
+    def test_description_present(self):
+        assert "random" in randomized_defense().description.lower()

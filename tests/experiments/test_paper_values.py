@@ -1,0 +1,67 @@
+"""Consistency tests for the embedded paper reference values."""
+
+import pytest
+
+from repro.experiments import paper_values as paper
+from repro.experiments.table1 import TABLE1_CONFIGS
+from repro.experiments.table3 import isolation_ladder
+from repro.experiments.table4 import run as table4_run  # noqa: F401 (import check)
+
+
+class TestTable1Values:
+    def test_covers_the_experiment_grid(self):
+        keys = {(b.name, o.name) for b, o in TABLE1_CONFIGS}
+        assert keys == set(paper.TABLE1_CLOSED)
+        assert keys == set(paper.TABLE1_OPEN)
+
+    def test_loop_beats_cache_in_all_published_cells(self):
+        """The paper's own numbers: loop >= cache wherever both exist."""
+        for (browser, _), (loop, cache) in paper.TABLE1_CLOSED.items():
+            if cache is not None:
+                assert loop >= cache, browser
+
+    def test_macos_cache_cells_empty(self):
+        assert paper.TABLE1_CLOSED[("Chrome 92", "macOS")][1] is None
+        assert paper.TABLE1_OPEN[("Firefox 91", "macOS")][3] is None
+
+
+class TestTable2Values:
+    def test_interrupt_noise_dominates_in_paper(self):
+        for attack, (none, cache, interrupt) in paper.TABLE2.items():
+            assert none - interrupt > 3 * (none - cache), attack
+
+    def test_page_load_overhead_is_15_7_percent(self):
+        before, after = paper.PAGE_LOAD_SECONDS
+        assert after / before == pytest.approx(1.157, abs=0.001)
+
+
+class TestTable3Values:
+    def test_covers_the_ladder(self):
+        names = {step.name for step in isolation_ladder()}
+        assert names == set(paper.TABLE3)
+
+    def test_vm_rung_recovers_in_paper(self):
+        assert paper.TABLE3["+ Run in separate VMs"][0] > paper.TABLE3[
+            "+ Remove IRQ interrupts"
+        ][0]
+
+
+class TestTable4Values:
+    def test_randomized_is_strongest_defense(self):
+        randomized = [v[0] for k, v in paper.TABLE4.items() if k[0] == "Randomized"]
+        others = [v[0] for k, v in paper.TABLE4.items() if k[0] != "Randomized"]
+        assert max(randomized) < min(others)
+
+
+class TestFigureValues:
+    def test_fig4_sites(self):
+        assert set(paper.FIG4_CORRELATIONS) == {
+            "nytimes.com", "amazon.com", "weather.com",
+        }
+
+    def test_attribution_threshold(self):
+        assert paper.ATTRIBUTION_FRACTION == 0.99
+
+    def test_counter_band_ordering(self):
+        lo, hi = paper.FIG3_COUNTER_RANGE
+        assert lo < hi

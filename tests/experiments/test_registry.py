@@ -1,0 +1,90 @@
+"""Tests for the experiment registry, formatting and CLI plumbing."""
+
+import pytest
+
+from repro.experiments import runner  # populates the registry
+from repro.experiments.base import (
+    format_rows,
+    get_experiment,
+    list_experiments,
+    register,
+    sparkline,
+)
+
+
+class TestRegistry:
+    def test_every_table_and_figure_registered(self):
+        """DESIGN.md's experiment index: one entry per table/figure."""
+        assert set(list_experiments()) >= {
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "table1", "table2", "table3", "table4",
+        }
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("table99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register("fig3")(lambda: None)
+
+
+class TestFormatting:
+    def test_format_rows_alignment(self):
+        table = format_rows(["a", "bb"], [["x", "y"], ["long", "z"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_sparkline_length(self):
+        line = sparkline(range(100), width=20)
+        assert len(line) == 20
+
+    def test_sparkline_constant(self):
+        assert sparkline([5, 5, 5]) == "   "
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_sparkline_monotone_input(self):
+        line = sparkline([0, 1, 2, 3, 4])
+        assert line[0] == " " and line[-1] == "@"
+
+
+class TestRunnerCli:
+    def test_list_flag(self, capsys):
+        assert runner.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+
+    def test_no_args_lists(self, capsys):
+        assert runner.main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_runs_cheap_experiment(self, capsys):
+        assert runner.main(["fig7", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "Randomized" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            runner.main(["fig99", "--scale", "smoke"])
+
+
+class TestSaveDir:
+    def test_artifacts_written(self, tmp_path, capsys):
+        assert runner.main(
+            ["fig7", "--scale", "smoke", "--save-dir", str(tmp_path)]
+        ) == 0
+        assert (tmp_path / "fig7.txt").exists()
+        svg = (tmp_path / "fig7.svg").read_text()
+        assert svg.startswith("<svg")
+
+    def test_table_without_renderer_writes_text_only(self, tmp_path, capsys):
+        # fig8 has a renderer; use a quick text-only experiment via fig8's
+        # sibling: tables 1/2 are too slow for a unit test, so check the
+        # renderer-less path through the registry contract instead.
+        from repro.viz.figures import render
+
+        assert render("table2", object()) is None

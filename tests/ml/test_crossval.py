@@ -1,0 +1,84 @@
+"""Tests for cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.ml.crossval import CrossValResult, cross_validate, stratified_kfold
+from repro.ml.models import FeatureFingerprinter
+
+
+class TestStratifiedKFold:
+    def test_folds_partition_data(self):
+        y = np.repeat(np.arange(4), 10)
+        seen = []
+        for train_idx, test_idx in stratified_kfold(y, 5, seed=0):
+            assert not set(train_idx) & set(test_idx)
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(40))
+
+    def test_class_balance_per_fold(self):
+        y = np.repeat(np.arange(4), 10)
+        for _, test_idx in stratified_kfold(y, 5, seed=0):
+            counts = np.bincount(y[test_idx], minlength=4)
+            assert counts.min() >= 1
+            assert counts.max() - counts.min() <= 1
+
+    def test_deterministic_per_seed(self):
+        y = np.repeat(np.arange(3), 9)
+        a = [t.tolist() for _, t in stratified_kfold(y, 3, seed=7)]
+        b = [t.tolist() for _, t in stratified_kfold(y, 3, seed=7)]
+        assert a == b
+
+    def test_needs_two_folds(self):
+        with pytest.raises(ValueError):
+            list(stratified_kfold(np.array([0, 1]), 1))
+
+    def test_degenerate_fold_rejected(self):
+        y = np.array([0])
+        with pytest.raises(ValueError):
+            list(stratified_kfold(y, 2))
+
+
+class TestCrossValidate:
+    def make_data(self, seed=0):
+        rng = np.random.default_rng(seed)
+        n_per_class, length = 12, 60
+        xs, ys = [], []
+        for cls in range(3):
+            base = np.zeros(length)
+            base[cls * 15 : cls * 15 + 15] = 1.0
+            xs.append(base + rng.normal(0, 0.05, size=(n_per_class, length)))
+            ys.append(np.full(n_per_class, cls))
+        return np.concatenate(xs), np.concatenate(ys)
+
+    def test_separable_data_high_accuracy(self):
+        x, y = self.make_data()
+        result = cross_validate(
+            lambda fold: FeatureFingerprinter(seed=fold), x, y, n_classes=3, n_folds=3
+        )
+        assert result.top1.mean > 0.9
+        assert len(result.fold_top1) == 3
+
+    def test_top5_at_least_top1(self):
+        x, y = self.make_data()
+        result = cross_validate(
+            lambda fold: FeatureFingerprinter(seed=fold), x, y, n_classes=3, n_folds=3
+        )
+        for top1, top5 in zip(result.fold_top1, result.fold_top5):
+            assert top5 >= top1
+
+    def test_top_k_capped_at_classes(self):
+        """top-5 on a 3-class problem degenerates to always-correct."""
+        x, y = self.make_data()
+        result = cross_validate(
+            lambda fold: FeatureFingerprinter(seed=fold),
+            x, y, n_classes=3, n_folds=2, top_k=5,
+        )
+        assert all(v == 1.0 for v in result.fold_top5)
+
+
+class TestCrossValResult:
+    def test_summary(self):
+        result = CrossValResult(fold_top1=[0.9, 0.8], fold_top5=[1.0, 0.95])
+        assert result.top1.mean == pytest.approx(0.85)
+        assert result.top5.mean == pytest.approx(0.975)

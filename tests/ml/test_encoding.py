@@ -1,0 +1,45 @@
+"""Tests for label encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.encoding import LabelEncoder
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        encoder = LabelEncoder()
+        labels = ["b", "a", "c", "a"]
+        indices = encoder.fit_transform(labels)
+        assert encoder.inverse(indices) == labels
+
+    def test_sorted_classes(self):
+        encoder = LabelEncoder().fit(["zebra", "apple"])
+        assert encoder.classes == ["apple", "zebra"]
+
+    def test_n_classes(self):
+        assert LabelEncoder().fit(["a", "b", "a"]).n_classes == 2
+
+    def test_unknown_label_rejected(self):
+        encoder = LabelEncoder().fit(["a"])
+        with pytest.raises(ValueError, match="unknown"):
+            encoder.transform(["b"])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LabelEncoder().transform(["a"])
+
+    def test_indices_contiguous(self):
+        encoder = LabelEncoder().fit(["x", "y", "z"])
+        indices = encoder.transform(["x", "y", "z"])
+        assert sorted(indices.tolist()) == [0, 1, 2]
+
+    @given(st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, labels):
+        encoder = LabelEncoder()
+        indices = encoder.fit_transform(labels)
+        assert encoder.inverse(indices) == labels
+        assert indices.max() < encoder.n_classes

@@ -1,0 +1,187 @@
+"""Gradient and behaviour tests for the numpy layers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.layers import Conv1D, Dense, Dropout, Flatten, MaxPool1D, ReLU
+
+
+def numeric_gradient(f, x, epsilon=1e-6):
+    """Central-difference gradient of scalar f w.r.t. array x."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + epsilon
+        f_plus = f()
+        x[idx] = original - epsilon
+        f_minus = f()
+        x[idx] = original
+        grad[idx] = (f_plus - f_minus) / (2 * epsilon)
+        it.iternext()
+    return grad
+
+
+def check_input_gradient(layer, x, tolerance=1e-5):
+    """Backward's input gradient matches numeric differentiation of a
+    random linear readout of the layer output."""
+    rng = np.random.default_rng(0)
+    out = layer.forward(x, training=False)
+    readout = rng.normal(size=out.shape)
+    analytic = layer.backward(readout)
+
+    def loss():
+        return float((layer.forward(x, training=False) * readout).sum())
+
+    numeric = numeric_gradient(loss, x)
+    np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=tolerance)
+
+
+def check_param_gradient(layer, x, tolerance=1e-5):
+    rng = np.random.default_rng(1)
+    out = layer.forward(x, training=False)
+    readout = rng.normal(size=out.shape)
+    layer.backward(readout)
+    analytic = {k: v.copy() for k, v in layer.grads().items()}
+    for name, param in layer.params().items():
+        def loss():
+            return float((layer.forward(x, training=False) * readout).sum())
+        numeric = numeric_gradient(loss, param)
+        np.testing.assert_allclose(
+            analytic[name], numeric, rtol=1e-4, atol=tolerance,
+            err_msg=f"param {name}",
+        )
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(4, 3, rng)
+        assert layer.forward(np.ones((5, 4))).shape == (5, 3)
+
+    def test_input_gradient(self, rng):
+        layer = Dense(4, 3, rng)
+        check_input_gradient(layer, rng.normal(size=(5, 4)))
+
+    def test_param_gradients(self, rng):
+        layer = Dense(4, 3, rng)
+        check_param_gradient(layer, rng.normal(size=(5, 4)))
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            Dense(2, 2, rng).backward(np.ones((1, 2)))
+
+    def test_rejects_bad_dims(self, rng):
+        with pytest.raises(ValueError):
+            Dense(0, 3, rng)
+
+
+class TestReLU:
+    def test_forward(self):
+        layer = ReLU()
+        out = layer.forward(np.array([[-1.0, 0.0, 2.0]]))
+        assert list(out[0]) == [0.0, 0.0, 2.0]
+
+    def test_gradient_masks(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 2.0]]))
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        assert list(grad[0]) == [0.0, 5.0]
+
+
+class TestDropout:
+    def test_inference_is_identity(self, rng):
+        layer = Dropout(0.5, rng)
+        x = rng.normal(size=(4, 6))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_training_zeroes_some(self, rng):
+        layer = Dropout(0.5, rng)
+        out = layer.forward(np.ones((10, 50)), training=True)
+        zero_fraction = np.mean(out == 0)
+        assert 0.3 < zero_fraction < 0.7
+
+    def test_inverted_scaling_preserves_mean(self, rng):
+        layer = Dropout(0.7, rng)
+        out = layer.forward(np.ones((50, 200)), training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.5, rng)
+        out = layer.forward(np.ones((4, 8)), training=True)
+        grad = layer.backward(np.ones((4, 8)))
+        np.testing.assert_array_equal(grad == 0, out == 0)
+
+    def test_rate_validated(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+
+class TestFlatten:
+    def test_roundtrip(self):
+        layer = Flatten()
+        x = np.arange(24.0).reshape(2, 3, 4)
+        out = layer.forward(x)
+        assert out.shape == (2, 12)
+        assert layer.backward(out).shape == (2, 3, 4)
+
+
+class TestConv1D:
+    def test_output_length(self, rng):
+        layer = Conv1D(1, 2, kernel_size=8, stride=3, rng=rng)
+        assert layer.output_length(32) == 9
+
+    def test_forward_shape(self, rng):
+        layer = Conv1D(2, 5, kernel_size=4, stride=2, rng=rng)
+        out = layer.forward(rng.normal(size=(3, 20, 2)))
+        assert out.shape == (3, 9, 5)
+
+    def test_known_convolution(self, rng):
+        layer = Conv1D(1, 1, kernel_size=2, stride=1, rng=rng)
+        layer.W[:] = np.array([[1.0], [2.0]])  # w = [1, 2]
+        layer.b[:] = 0.5
+        x = np.array([[[1.0], [2.0], [3.0]]])
+        out = layer.forward(x)
+        # windows [1,2] -> 1+4=5, [2,3] -> 2+6=8; +bias
+        np.testing.assert_allclose(out[0, :, 0], [5.5, 8.5])
+
+    def test_input_gradient(self, rng):
+        layer = Conv1D(2, 3, kernel_size=3, stride=2, rng=rng)
+        check_input_gradient(layer, rng.normal(size=(2, 11, 2)))
+
+    def test_param_gradients(self, rng):
+        layer = Conv1D(2, 3, kernel_size=3, stride=2, rng=rng)
+        check_param_gradient(layer, rng.normal(size=(2, 11, 2)))
+
+    def test_too_short_input_rejected(self, rng):
+        layer = Conv1D(1, 1, kernel_size=8, stride=1, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((1, 4, 1)))
+
+    def test_channel_mismatch_rejected(self, rng):
+        layer = Conv1D(2, 1, kernel_size=2, stride=1, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((1, 10, 3)))
+
+
+class TestMaxPool1D:
+    def test_forward(self):
+        layer = MaxPool1D(2)
+        x = np.array([[[1.0], [3.0], [2.0], [5.0], [9.0]]])
+        out = layer.forward(x)
+        np.testing.assert_allclose(out[0, :, 0], [3.0, 5.0])  # 9 cropped
+
+    def test_gradient_routes_to_argmax(self):
+        layer = MaxPool1D(2)
+        x = np.array([[[1.0], [3.0], [2.0], [5.0]]])
+        layer.forward(x)
+        grad = layer.backward(np.array([[[10.0], [20.0]]]))
+        np.testing.assert_allclose(grad[0, :, 0], [0.0, 10.0, 0.0, 20.0])
+
+    def test_input_gradient_numeric(self, rng):
+        layer = MaxPool1D(3)
+        check_input_gradient(layer, rng.normal(size=(2, 10, 4)))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            MaxPool1D(4).forward(np.ones((1, 3, 1)))

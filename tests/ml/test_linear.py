@@ -1,0 +1,61 @@
+"""Tests for softmax regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import SoftmaxRegression
+
+
+def blobs(n_per_class=40, n_classes=3, separation=4.0, seed=0):
+    rng = np.random.default_rng(seed)
+    xs, ys = [], []
+    for cls in range(n_classes):
+        angle = 2 * np.pi * cls / n_classes
+        center = separation * np.array([np.cos(angle), np.sin(angle)])
+        xs.append(rng.normal(center, 1.0, size=(n_per_class, 2)))
+        ys.append(np.full(n_per_class, cls))
+    return np.concatenate(xs), np.concatenate(ys)
+
+
+class TestSoftmaxRegression:
+    def test_learns_separable_blobs(self):
+        x, y = blobs()
+        model = SoftmaxRegression(n_classes=3).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_proba_rows_sum_to_one(self):
+        x, y = blobs()
+        model = SoftmaxRegression(n_classes=3).fit(x, y)
+        np.testing.assert_allclose(model.predict_proba(x).sum(axis=1), np.ones(len(x)))
+
+    def test_l2_shrinks_weights(self):
+        x, y = blobs()
+        loose = SoftmaxRegression(n_classes=3, l2=0.0).fit(x, y)
+        tight = SoftmaxRegression(n_classes=3, l2=1.0).fit(x, y)
+        assert np.abs(tight.W).sum() < np.abs(loose.W).sum()
+
+    def test_deterministic_per_seed(self):
+        x, y = blobs()
+        a = SoftmaxRegression(n_classes=3, seed=3).fit(x, y)
+        b = SoftmaxRegression(n_classes=3, seed=3).fit(x, y)
+        np.testing.assert_array_equal(a.W, b.W)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxRegression(n_classes=2).predict(np.ones((1, 2)))
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SoftmaxRegression(n_classes=2).fit(np.ones((2, 2)), np.array([0, 2]))
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            SoftmaxRegression(n_classes=2).fit(np.ones((3, 2)), np.array([0, 1]))
+
+    def test_hyperparameter_validation(self):
+        with pytest.raises(ValueError):
+            SoftmaxRegression(n_classes=1)
+        with pytest.raises(ValueError):
+            SoftmaxRegression(n_classes=2, learning_rate=0)
+        with pytest.raises(ValueError):
+            SoftmaxRegression(n_classes=2, l2=-1)

@@ -1,0 +1,64 @@
+"""Tests for softmax cross-entropy."""
+
+import numpy as np
+import pytest
+
+from repro.ml.losses import SoftmaxCrossEntropy, softmax
+from tests.ml.test_layers import numeric_gradient
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(5, 7)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+
+    def test_stability_with_large_logits(self):
+        probs = softmax(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(probs, [[0.5, 0.5]])
+
+    def test_shift_invariance(self, rng):
+        logits = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        assert loss.forward(logits, np.array([0, 1])) < 1e-6
+
+    def test_uniform_prediction_log_c(self):
+        loss = SoftmaxCrossEntropy()
+        value = loss.forward(np.zeros((4, 10)), np.zeros(4, dtype=int))
+        assert value == pytest.approx(np.log(10))
+
+    def test_gradient_matches_numeric(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(3, 5))
+        labels = np.array([0, 2, 4])
+        loss.forward(logits, labels)
+        analytic = loss.backward()
+
+        def f():
+            return loss.forward(logits, labels)
+
+        numeric = numeric_gradient(f, logits)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        loss = SoftmaxCrossEntropy()
+        loss.forward(rng.normal(size=(4, 6)), np.array([0, 1, 2, 3]))
+        grad = loss.backward()
+        np.testing.assert_allclose(grad.sum(axis=1), np.zeros(4), atol=1e-12)
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy().forward(np.zeros((1, 3)), np.array([3]))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()
+
+    def test_misaligned_labels_rejected(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy().forward(np.zeros((2, 3)), np.array([0]))

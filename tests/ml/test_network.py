@@ -1,0 +1,89 @@
+"""Tests for Sequential networks and end-to-end learning."""
+
+import numpy as np
+import pytest
+
+from repro.ml.layers import Dense, ReLU
+from repro.ml.network import Sequential
+from repro.ml.optim import Adam
+
+
+def two_moons(n=200, seed=0):
+    """A small nonlinear binary classification problem."""
+    rng = np.random.default_rng(seed)
+    angles = rng.uniform(0, np.pi, n)
+    labels = rng.integers(0, 2, n)
+    x = np.column_stack(
+        [
+            np.cos(angles) + labels * 1.0 + rng.normal(0, 0.1, n),
+            np.sin(angles) * (1 - 2 * labels) + rng.normal(0, 0.1, n),
+        ]
+    )
+    return x, labels
+
+
+class TestSequential:
+    def make(self, rng):
+        return Sequential([Dense(2, 16, rng), ReLU(), Dense(16, 2, rng)])
+
+    def test_needs_layers(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_predict_proba_shape(self, rng):
+        net = self.make(rng)
+        probs = net.predict_proba(np.ones((5, 2)))
+        assert probs.shape == (5, 2)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+
+    def test_training_reduces_loss(self, rng):
+        net = self.make(rng)
+        x, y = two_moons()
+        optimizer = Adam(learning_rate=0.01)
+        first = net.train_batch(x, y, optimizer)
+        for _ in range(100):
+            last = net.train_batch(x, y, optimizer)
+        assert last < first / 2
+
+    def test_learns_nonlinear_boundary(self, rng):
+        net = self.make(rng)
+        x, y = two_moons()
+        optimizer = Adam(learning_rate=0.01)
+        for _ in range(200):
+            net.train_batch(x, y, optimizer)
+        accuracy = (net.predict(x) == y).mean()
+        assert accuracy > 0.95
+
+    def test_snapshot_restore_roundtrip(self, rng):
+        net = self.make(rng)
+        x, y = two_moons()
+        snapshot = net.snapshot()
+        before = net.predict_proba(x)
+        optimizer = Adam(learning_rate=0.05)
+        for _ in range(20):
+            net.train_batch(x, y, optimizer)
+        after_training = net.predict_proba(x)
+        assert not np.allclose(before, after_training)
+        net.restore(snapshot)
+        np.testing.assert_allclose(net.predict_proba(x), before)
+
+    def test_restore_rejects_mismatched_snapshot(self, rng):
+        net = self.make(rng)
+        other = Sequential([Dense(2, 2, rng)])
+        with pytest.raises(ValueError):
+            net.restore(other.snapshot())
+
+    def test_snapshot_is_a_copy(self, rng):
+        net = self.make(rng)
+        snapshot = net.snapshot()
+        for key, array in net.parameters().items():
+            array += 1.0
+            assert not np.allclose(snapshot[key], array)
+            break
+
+    def test_predict_proba_batches_consistent(self, rng):
+        net = self.make(rng)
+        x = rng.normal(size=(300, 2))
+        np.testing.assert_allclose(
+            net.predict_proba(x, batch_size=7), net.predict_proba(x, batch_size=300)
+        )

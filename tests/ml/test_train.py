@@ -1,0 +1,73 @@
+"""Tests for the trainer and early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.ml.layers import Dense, ReLU
+from repro.ml.network import Sequential
+from repro.ml.train import Trainer, evaluate_accuracy
+from tests.ml.test_network import two_moons
+
+
+def make_net(rng):
+    return Sequential([Dense(2, 16, rng), ReLU(), Dense(16, 2, rng)])
+
+
+class TestTrainer:
+    def test_fit_improves_accuracy(self, rng):
+        x, y = two_moons(300)
+        net = make_net(rng)
+        before = evaluate_accuracy(net, x, y)
+        Trainer(epochs=20, batch_size=32, seed=0).fit(net, x, y)
+        assert evaluate_accuracy(net, x, y) > max(before, 0.9)
+
+    def test_history_records_losses(self, rng):
+        x, y = two_moons(100)
+        net = make_net(rng)
+        history = Trainer(epochs=5, batch_size=32).fit(net, x, y)
+        assert len(history.losses) == 5
+        assert history.losses[-1] < history.losses[0]
+
+    def test_early_stopping_halts(self, rng):
+        x, y = two_moons(300)
+        x_val, y_val = two_moons(100, seed=9)
+        net = make_net(rng)
+        trainer = Trainer(epochs=100, batch_size=32, patience=2)
+        history = trainer.fit(net, x, y, x_val, y_val)
+        # Either early-stopped or ran out of epochs with history recorded.
+        assert len(history.val_accuracies) <= 100
+        if history.stopped_early:
+            assert len(history.val_accuracies) < 100
+
+    def test_best_snapshot_restored(self, rng):
+        """After early stopping, the model matches its best epoch."""
+        x, y = two_moons(200)
+        x_val, y_val = two_moons(80, seed=5)
+        net = make_net(rng)
+        trainer = Trainer(epochs=40, batch_size=16, patience=2, seed=1)
+        history = trainer.fit(net, x, y, x_val, y_val)
+        final = evaluate_accuracy(net, x_val, y_val)
+        assert final == pytest.approx(max(history.val_accuracies), abs=1e-9)
+
+    def test_validation_optional(self, rng):
+        x, y = two_moons(60)
+        history = Trainer(epochs=3).fit(make_net(rng), x, y)
+        assert history.val_accuracies == []
+        assert not history.stopped_early
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            Trainer(epochs=0)
+        with pytest.raises(ValueError):
+            Trainer(patience=0)
+
+
+class TestEvaluateAccuracy:
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            evaluate_accuracy(make_net(rng), np.empty((0, 2)), np.empty(0))
+
+    def test_range(self, rng):
+        x, y = two_moons(50)
+        accuracy = evaluate_accuracy(make_net(rng), x, y)
+        assert 0.0 <= accuracy <= 1.0

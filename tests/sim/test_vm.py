@@ -1,0 +1,39 @@
+"""Tests for the VM isolation model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.vm import BARE_METAL, SEPARATE_VMS, VmConfig
+
+
+class TestVmConfig:
+    def test_bare_metal_is_identity(self):
+        durations = np.array([1000.0, 2000.0])
+        np.testing.assert_array_equal(BARE_METAL.transform_durations(durations), durations)
+
+    def test_vm_amplifies(self):
+        durations = np.array([1000.0])
+        transformed = SEPARATE_VMS.transform_durations(durations)
+        assert transformed[0] > durations[0]
+
+    def test_affine_transform(self):
+        config = VmConfig(enabled=True, amplification=2.0, exit_overhead_ns=500.0)
+        np.testing.assert_allclose(
+            config.transform_durations(np.array([1000.0])), [2500.0]
+        )
+
+    def test_amplification_increases_every_interrupt(self):
+        """§5.1: host+guest handling amplifies the per-interrupt signal."""
+        durations = np.linspace(1500, 10_000, 20)
+        transformed = SEPARATE_VMS.transform_durations(durations)
+        assert np.all(transformed > durations)
+        # Relative ordering preserved: louder interrupts stay louder.
+        assert np.all(np.diff(transformed) > 0)
+
+    def test_cannot_be_cheaper_than_bare_metal(self):
+        with pytest.raises(ValueError):
+            VmConfig(enabled=True, amplification=0.5)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            VmConfig(enabled=True, exit_overhead_ns=-1)

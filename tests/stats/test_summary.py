@@ -1,0 +1,75 @@
+"""Tests for summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.stats.summary import MeanStd, pearson_r, top_k_accuracy
+
+
+class TestMeanStd:
+    def test_of(self):
+        summary = MeanStd.of([0.9, 1.0])
+        assert summary.mean == pytest.approx(0.95)
+        assert summary.std == pytest.approx(np.std([0.9, 1.0], ddof=1))
+
+    def test_paper_formatting(self):
+        """Rendered like Table 1's cells, e.g. '96.6±0.8'."""
+        assert MeanStd(mean=0.966, std=0.008).as_percent() == "96.6±0.8"
+
+    def test_single_value_zero_std(self):
+        assert MeanStd.of([0.5]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MeanStd.of([])
+
+
+class TestPearsonR:
+    def test_perfect_positive(self):
+        assert pearson_r([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_r([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        r = pearson_r(rng.normal(size=5000), rng.normal(size=5000))
+        assert abs(r) < 0.05
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=50), rng.normal(size=50)
+        assert pearson_r(a, b) == pytest.approx(np.corrcoef(a, b)[0, 1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pearson_r([1.0], [1.0])
+        with pytest.raises(ValueError):
+            pearson_r([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            pearson_r([1, 1, 1], [1, 2, 3])
+
+
+class TestTopKAccuracy:
+    def test_top1_equals_argmax_accuracy(self):
+        probs = np.array([[0.9, 0.1], [0.4, 0.6]])
+        labels = np.array([0, 0])
+        assert top_k_accuracy(probs, labels, 1) == 0.5
+
+    def test_top_k_widens(self):
+        probs = np.array([[0.5, 0.3, 0.2], [0.1, 0.2, 0.7]])
+        labels = np.array([1, 0])
+        assert top_k_accuracy(probs, labels, 1) == 0.0
+        assert top_k_accuracy(probs, labels, 2) == 0.5
+        assert top_k_accuracy(probs, labels, 3) == 1.0
+
+    def test_k_validation(self):
+        probs = np.ones((2, 3)) / 3
+        with pytest.raises(ValueError):
+            top_k_accuracy(probs, np.zeros(2, dtype=int), 0)
+        with pytest.raises(ValueError):
+            top_k_accuracy(probs, np.zeros(2, dtype=int), 4)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.ones(3), np.zeros(3, dtype=int), 1)

@@ -1,0 +1,43 @@
+"""Tests for experiment scales."""
+
+import pytest
+
+from repro.config import DEFAULT, PAPER, SCALES, SMOKE, Scale
+
+
+class TestScales:
+    def test_registry(self):
+        assert set(SCALES) == {"smoke", "default", "paper"}
+
+    def test_paper_scale_matches_publication(self):
+        """100 sites x 100 traces, 15 s @ 5 ms, 10-fold CV, full LSTM."""
+        assert PAPER.n_sites == 100
+        assert PAPER.traces_per_site == 100
+        assert PAPER.trace_seconds == 15.0
+        assert PAPER.period_ms == 5.0
+        assert PAPER.n_folds == 10
+        assert PAPER.backend == "lstm-paper"
+        assert PAPER.open_world_sites == 5000
+
+    def test_scales_ordered_by_size(self):
+        assert SMOKE.n_sites < DEFAULT.n_sites < PAPER.n_sites
+        assert SMOKE.traces_per_site < DEFAULT.traces_per_site
+
+    def test_tor_trace_ratio_preserved(self):
+        """Tor uses 50 s traces when others use 15 s, at every scale."""
+        for scale in SCALES.values():
+            ratio = scale.scaled_trace_seconds(50.0) / scale.scaled_trace_seconds(15.0)
+            assert ratio == pytest.approx(50 / 15)
+
+    def test_with_override(self):
+        modified = SMOKE.with_(n_sites=5)
+        assert modified.n_sites == 5
+        assert SMOKE.n_sites == 8  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scale("bad", 1, 1, 1.0, 1.0, 2, "feature", 0)
+        with pytest.raises(ValueError):
+            SMOKE.with_(n_folds=1)
+        with pytest.raises(ValueError):
+            SMOKE.with_(period_ms=0)

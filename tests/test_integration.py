@@ -1,0 +1,81 @@
+"""Cross-module integration tests: the paper's claims end to end.
+
+These run the full stack (workload -> simulator -> attacker -> traces ->
+classifier) at a small-but-meaningful scale and assert the qualitative
+results that define the paper.  Heavier quantitative shape checks live
+in the benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import Scale
+from repro.core.attacker import LoopCountingAttacker, SweepCountingAttacker
+from repro.core.collector import TraceCollector
+from repro.core.pipeline import FingerprintingPipeline
+from repro.core.trace import average_traces
+from repro.sim.machine import MachineConfig
+from repro.stats.summary import pearson_r
+from repro.timers.spec import RANDOMIZED_DEFENSE_TIMER
+from repro.workload.browser import CHROME, LINUX, Browser
+from repro.workload.website import profile_for
+
+SCALE = Scale(
+    name="integration", n_sites=6, traces_per_site=6, trace_seconds=4.0,
+    period_ms=10.0, n_folds=2, backend="feature", open_world_sites=0,
+)
+
+
+@pytest.fixture(scope="module")
+def loop_result():
+    pipeline = FingerprintingPipeline(
+        MachineConfig(os=LINUX), CHROME, scale=SCALE, seed=21
+    )
+    return pipeline.run_closed_world()
+
+
+class TestAttackWorks:
+    def test_fingerprinting_far_above_base_rate(self, loop_result):
+        """Takeaway 1: a no-memory-access attack fingerprints websites."""
+        base = 1.0 / SCALE.n_sites
+        assert loop_result.top1.mean > 3 * base
+
+    def test_randomized_timer_destroys_attack(self, loop_result):
+        """Table 4's defense kills the signal end to end."""
+        pipeline = FingerprintingPipeline(
+            MachineConfig(os=LINUX), CHROME, scale=SCALE,
+            timer=RANDOMIZED_DEFENSE_TIMER, seed=21,
+        )
+        defended = pipeline.run_closed_world()
+        assert defended.top1.mean < loop_result.top1.mean / 2
+
+
+class TestAttackersCorrelate:
+    def test_loop_and_sweep_see_the_same_events(self):
+        """Fig 4: averaged traces of both attackers correlate strongly."""
+        browser = Browser(
+            name=CHROME.name, timer=CHROME.timer, trace_seconds=6.0,
+            measurement_noise=CHROME.measurement_noise,
+        )
+        machine = MachineConfig(os=LINUX)
+        site = profile_for("nytimes.com")
+        averages = {}
+        for attacker in (LoopCountingAttacker(), SweepCountingAttacker()):
+            collector = TraceCollector(machine, browser, attacker=attacker, seed=3)
+            traces = [collector.collect_trace(site, trace_index=k) for k in range(8)]
+            averages[attacker.name] = average_traces(traces)
+        r = pearson_r(averages["loop-counting"], averages["sweep-counting"])
+        assert r > 0.5
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self):
+        results = []
+        for _ in range(2):
+            pipeline = FingerprintingPipeline(
+                MachineConfig(os=LINUX), CHROME, scale=SCALE, seed=5
+            )
+            x, labels = pipeline.collect_closed_world()
+            results.append((x, tuple(labels)))
+        np.testing.assert_array_equal(results[0][0], results[1][0])
+        assert results[0][1] == results[1][1]

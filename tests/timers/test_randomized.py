@@ -1,0 +1,124 @@
+"""Tests for the randomized-timer defense."""
+
+import numpy as np
+import pytest
+
+from repro.sim.events import MS
+from repro.timers.randomized import RandomizedTimer
+
+
+def make(seed=0, **kwargs):
+    defaults = dict(
+        delta_ns=1 * MS,
+        alpha_range=(5, 25),
+        beta_range=(5, 25),
+        threshold_ns=100 * MS,
+        seed=seed,
+    )
+    defaults.update(kwargs)
+    return RandomizedTimer(**defaults)
+
+
+class TestMonotonicity:
+    def test_output_never_decreases(self):
+        timer = make(seed=3)
+        last = -1.0
+        for t in np.linspace(0, 500 * MS, 3_000):
+            value = timer.read(float(t))
+            assert value >= last
+            last = value
+
+    def test_rejects_backwards_queries(self):
+        timer = make()
+        timer.read(50 * MS)
+        with pytest.raises(ValueError, match="backwards"):
+            timer.read(10 * MS)
+
+    def test_reset_allows_restart(self):
+        timer = make()
+        timer.read(50 * MS)
+        timer.reset()
+        assert timer.read(0.0) == 0.0
+
+
+class TestLagBounds:
+    def test_lag_bounded_by_threshold_plus_jump(self):
+        """T_real - T_secure never exceeds threshold + max update slack."""
+        timer = make(seed=9)
+        max_lag = 0.0
+        for t in np.arange(0, 2_000 * MS, 0.5 * MS):
+            lag = t - timer.read(float(t))
+            max_lag = max(max_lag, lag)
+        # Threshold resync guarantees the timer never falls further behind
+        # than threshold plus one update interval.
+        assert max_lag <= 100 * MS + 1 * MS
+
+    def test_timer_can_run_ahead(self):
+        """β jumps can push the observed time past real time."""
+        timer = make(seed=2)
+        ahead = [
+            timer.read(float(t)) - t for t in np.arange(0, 1_000 * MS, 0.5 * MS)
+        ]
+        assert max(ahead) > 0
+
+    def test_value_changes_in_beta_steps(self):
+        timer = make(seed=4)
+        values = [timer.read(float(t)) for t in np.arange(0, 500 * MS, 0.25 * MS)]
+        jumps = {round(b - a, 3) for a, b in zip(values, values[1:]) if b > a}
+        # Every advance is a whole number of Δ (β or resync + β).
+        assert all(abs(j - round(j / MS) * MS) < 1e-6 for j in jumps)
+
+
+class TestFirstCrossing:
+    def test_crossing_satisfies_elapsed(self):
+        timer = make(seed=5)
+        t0 = 10 * MS
+        timer.read(t0)
+        t = timer.first_crossing(t0, 5 * MS)
+        assert t >= t0
+
+    def test_crossing_durations_vary_wildly(self):
+        """Fig 8c: one 5 ms loop spans 0-100 ms of real time."""
+        timer = make(seed=6)
+        durations = []
+        t = 0.0
+        for _ in range(300):
+            t_next = timer.first_crossing(t, 5 * MS)
+            durations.append(t_next - t)
+            t = max(t_next, t + 0.01 * MS)
+        durations = np.array(durations)
+        assert durations.std() > 2 * MS  # vs ~0.06 ms for Chrome's jitter
+        assert durations.max() > 20 * MS
+
+    def test_zero_elapsed(self):
+        timer = make()
+        assert timer.first_crossing(0.0, 0.0) == 0.0
+
+    def test_negative_elapsed_rejected(self):
+        with pytest.raises(ValueError):
+            make().first_crossing(0.0, -5.0)
+
+
+class TestValidation:
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            make(delta_ns=0)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            make(alpha_range=(10, 5))
+        with pytest.raises(ValueError):
+            make(alpha_range=(-1, 5))
+
+    def test_rejects_non_advancing_beta(self):
+        with pytest.raises(ValueError, match="advance"):
+            make(beta_range=(0, 5))
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            make(threshold_ns=0)
+
+    def test_deterministic_per_seed(self):
+        a, b = make(seed=42), make(seed=42)
+        times = np.arange(0, 300 * MS, 0.7 * MS)
+        assert [a.read(float(t)) for t in times] == [b.read(float(t)) for t in times]

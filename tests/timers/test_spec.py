@@ -1,0 +1,71 @@
+"""Tests for declarative timer specs."""
+
+import pytest
+
+from repro.sim.events import MS
+from repro.timers.base import PreciseTimer
+from repro.timers.quantized import JitteredTimer, QuantizedTimer
+from repro.timers.randomized import RandomizedTimer
+from repro.timers.spec import (
+    CHROME_TIMER,
+    FIREFOX_TIMER,
+    NATIVE_TIMER,
+    RANDOMIZED_DEFENSE_TIMER,
+    SAFARI_TIMER,
+    TOR_TIMER,
+    TimerKind,
+    TimerSpec,
+)
+
+
+class TestBuild:
+    def test_precise(self):
+        assert isinstance(NATIVE_TIMER.build(), PreciseTimer)
+
+    def test_quantized(self):
+        timer = TOR_TIMER.build()
+        assert isinstance(timer, QuantizedTimer)
+        assert timer.delta_ns == 100 * MS
+
+    def test_jittered(self):
+        timer = CHROME_TIMER.build(seed=4)
+        assert isinstance(timer, JitteredTimer)
+        assert timer.seed == 4
+
+    def test_randomized(self):
+        timer = RANDOMIZED_DEFENSE_TIMER.build(seed=9)
+        assert isinstance(timer, RandomizedTimer)
+        assert timer.alpha_range == (5, 25)
+        assert timer.threshold_ns == 100 * MS
+
+    def test_each_build_is_fresh(self):
+        a = RANDOMIZED_DEFENSE_TIMER.build(seed=1)
+        b = RANDOMIZED_DEFENSE_TIMER.build(seed=1)
+        assert a is not b
+        a.read(50 * MS)
+        assert b.read(0.0) == 0.0  # unaffected by a's state
+
+
+class TestPaperParameters:
+    def test_chrome_01ms(self):
+        assert CHROME_TIMER.resolution_ms == pytest.approx(0.1)
+        assert CHROME_TIMER.kind is TimerKind.JITTERED
+
+    def test_firefox_1ms(self):
+        assert FIREFOX_TIMER.resolution_ms == pytest.approx(1.0)
+        assert FIREFOX_TIMER.kind is TimerKind.QUANTIZED
+
+    def test_safari_1ms_quantized(self):
+        assert SAFARI_TIMER.kind is TimerKind.QUANTIZED
+        assert SAFARI_TIMER.resolution_ms == pytest.approx(1.0)
+
+    def test_tor_100ms(self):
+        assert TOR_TIMER.resolution_ms == pytest.approx(100.0)
+
+    def test_defense_published_parameters(self):
+        """§6.1: α, β ~ U[5, 25], Δ = 1 ms, threshold = 100 ms."""
+        spec = RANDOMIZED_DEFENSE_TIMER
+        assert spec.resolution_ms == pytest.approx(1.0)
+        assert spec.alpha_range == (5, 25)
+        assert spec.beta_range == (5, 25)
+        assert spec.threshold_ns == 100 * MS

@@ -1,0 +1,67 @@
+"""Tests for gap ↔ interrupt attribution (§5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.interrupts import InterruptType
+from repro.tracing.attribution import AttributedGap, attribute_gaps
+from repro.tracing.ebpf import KprobeTracer, TracerConfig
+
+
+class TestAttribution:
+    def test_paper_claim_over_99_percent(self, nytimes_run):
+        """>99 % of gaps longer than 100 ns are caused by interrupts."""
+        report = attribute_gaps(KprobeTracer(nytimes_run))
+        assert report.n_gaps > 100
+        assert report.attributed_fraction > 0.99
+
+    def test_restricted_tracer_misses_gaps(self, nytimes_run):
+        """A tracer that can only see timers cannot explain everything."""
+        config = TracerConfig(traceable_types=frozenset({InterruptType.TIMER}))
+        report = attribute_gaps(KprobeTracer(nytimes_run, config=config))
+        assert report.attributed_fraction < 0.9
+
+    def test_gap_lengths_above_threshold(self, nytimes_run):
+        report = attribute_gaps(KprobeTracer(nytimes_run), threshold_ns=1_000.0)
+        assert all(g.length_ns > 1_000.0 for g in report.gaps)
+
+    def test_type_counter_covers_active_types(self, nytimes_run):
+        report = attribute_gaps(KprobeTracer(nytimes_run))
+        counter = report.type_counter()
+        assert counter[InterruptType.TIMER] > 0
+
+    def test_gap_lengths_for_type(self, nytimes_run):
+        report = attribute_gaps(KprobeTracer(nytimes_run))
+        lengths = report.gap_lengths_for_type(InterruptType.TIMER)
+        assert len(lengths) > 0
+        assert lengths.min() > report.threshold_ns
+
+    def test_max_gaps_limits_work(self, nytimes_run):
+        report = attribute_gaps(KprobeTracer(nytimes_run), max_gaps=10)
+        assert report.n_gaps == 10
+
+    def test_negative_threshold_rejected(self, nytimes_run):
+        with pytest.raises(ValueError):
+            attribute_gaps(KprobeTracer(nytimes_run), threshold_ns=-1)
+
+    def test_empty_report_fraction_is_one(self):
+        from repro.tracing.attribution import AttributionReport
+
+        report = AttributionReport(gaps=[], threshold_ns=100.0)
+        assert report.attributed_fraction == 1.0
+
+
+class TestAttributedGap:
+    def test_properties(self):
+        gap = AttributedGap(
+            start_ns=10.0,
+            end_ns=25.0,
+            interrupt_types=(InterruptType.TIMER,),
+            causes=("tick",),
+        )
+        assert gap.length_ns == 15.0
+        assert gap.attributed
+
+    def test_unattributed(self):
+        gap = AttributedGap(start_ns=0, end_ns=1, interrupt_types=(), causes=())
+        assert not gap.attributed

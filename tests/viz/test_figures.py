@@ -1,0 +1,82 @@
+"""Tests for the per-experiment SVG renderers."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.config import SMOKE
+from repro.experiments import fig3, fig4, fig7, fig8
+from repro.viz.figures import RENDERERS, render
+from tests.conftest import TINY
+
+
+def parse(svg: str):
+    return xml.dom.minidom.parseString(svg)
+
+
+class TestRenderers:
+    def test_unrenderable_returns_none(self):
+        assert render("table1", object()) is None
+
+    def test_renderer_registry_ids(self):
+        assert set(RENDERERS) == {
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "table4",
+        }
+
+    def test_fig7_valid(self):
+        result = fig7.run(SMOKE, seed=1)
+        svg = render("fig7", result)
+        parse(svg)
+        assert "Figure 7" in svg
+        assert svg.count("polyline") >= 6  # ideal + observed per timer
+
+    def test_fig8_valid(self):
+        result = fig8.run(SMOKE, seed=1, n_periods=200)
+        svg = render("fig8", result)
+        parse(svg)
+        assert "Randomized" in svg
+
+    def test_fig3_valid(self):
+        result = fig3.run(TINY, seed=1)
+        svg = render("fig3", result)
+        parse(svg)
+        assert "nytimes.com" in svg
+        assert svg.count("rgb(") > 100  # heat cells
+
+    def test_fig4_valid(self):
+        result = fig4.run(TINY.with_(traces_per_site=4), seed=1)
+        svg = render("fig4", result)
+        parse(svg)
+        assert "weather.com" in svg
+
+    def test_fig5_valid(self):
+        from repro.experiments import fig5
+
+        result = fig5.run(TINY.with_(trace_seconds=3.0), seed=2)
+        svg = render("fig5", result)
+        parse(svg)
+        assert "Softirq" in svg and "Resched" in svg
+
+    def test_fig6_valid(self):
+        from repro.experiments import fig6
+
+        result = fig6.run(TINY.with_(trace_seconds=3.0), seed=2)
+        svg = render("fig6", result)
+        parse(svg)
+        assert "timer" in svg
+
+    def test_table3_valid(self):
+        from repro.experiments import table3
+
+        result = table3.run(TINY, seed=2)
+        svg = render("table3", result)
+        parse(svg)
+        assert "isolation" in svg
+
+    def test_table4_valid(self):
+        from repro.experiments import table4
+
+        result = table4.run(TINY, seed=2)
+        svg = render("table4", result)
+        parse(svg)
+        assert "timer defenses" in svg

@@ -1,0 +1,123 @@
+"""Tests for the SVG drawing layer."""
+
+import xml.dom.minidom
+
+import numpy as np
+import pytest
+
+from repro.viz.svg import Axis, Plot, _nice_ticks, stack_plots
+
+
+def parse(svg: str):
+    """Raises if the document is not well-formed XML."""
+    return xml.dom.minidom.parseString(svg)
+
+
+class TestAxis:
+    def test_scale_linear(self):
+        axis = Axis(0, 10)
+        np.testing.assert_allclose(axis.scale(np.array([0, 5, 10]), 0, 100), [0, 50, 100])
+
+    def test_inverted_pixel_range(self):
+        """y axes map data-up to pixel-down."""
+        axis = Axis(0, 10)
+        assert axis.scale(np.array([10]), 100, 0)[0] == 0
+
+    def test_degenerate_range_expanded(self):
+        axis = Axis(5, 5)
+        assert axis.hi > axis.lo
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            Axis(0, float("nan"))
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0, 100)
+        assert ticks[0] >= 0 and ticks[-1] <= 100
+        assert len(ticks) >= 3
+
+    def test_small_range(self):
+        ticks = _nice_ticks(0.0, 0.001)
+        assert all(0 <= t <= 0.001 for t in ticks)
+
+    def test_empty_range(self):
+        assert _nice_ticks(5, 5) == [5]
+
+
+class TestPlot:
+    def make(self):
+        return Plot(Axis(0, 10, "x"), Axis(0, 1, "y"), title="test")
+
+    def test_line_renders_valid_xml(self):
+        plot = self.make().line([0, 5, 10], [0, 1, 0], label="series")
+        parse(plot.render())
+
+    def test_line_needs_two_points(self):
+        with pytest.raises(ValueError):
+            self.make().line([1], [1])
+
+    def test_steps_double_points(self):
+        plot = self.make().steps([0, 5, 10], [0, 0.5, 1])
+        assert "polyline" in plot.render()
+
+    def test_bars_edges_validated(self):
+        with pytest.raises(ValueError):
+            self.make().bars([0, 1, 2], [5])
+
+    def test_bars_render(self):
+        svg = self.make().bars([0, 2, 4, 6], [1, 0, 0.5]).render()
+        parse(svg)
+        assert svg.count("<rect") >= 3  # bg + frame + >=2 bars... at least
+
+    def test_area_renders_polygon(self):
+        svg = self.make().area([0, 5, 10], 0, [0.2, 0.8, 0.4]).render()
+        assert "<polygon" in svg
+        parse(svg)
+
+    def test_heat_strip(self):
+        svg = self.make().heat_strip(np.linspace(0, 1, 20), 0.2, 0.8).render()
+        parse(svg)
+        assert svg.count("rgb(") >= 20
+
+    def test_heat_strip_empty_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().heat_strip([], 0, 1)
+
+    def test_text_escaped(self):
+        svg = self.make().text(1, 0.5, "<&>").render()
+        assert "&lt;&amp;&gt;" in svg
+        parse(svg)
+
+    def test_titles_and_labels_present(self):
+        svg = self.make().line([0, 10], [0, 1]).render()
+        assert ">test<" in svg and ">x<" in svg and ">y<" in svg
+
+    def test_legend(self):
+        svg = self.make().line([0, 10], [0, 1], label="observed").render()
+        assert "observed" in svg
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Plot(Axis(0, 1), Axis(0, 1), width=50, height=50)
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "plot.svg"
+        self.make().line([0, 10], [0, 1]).save(path)
+        parse(path.read_text())
+
+
+class TestStackPlots:
+    def test_stacks_heights(self):
+        plots = [
+            Plot(Axis(0, 1), Axis(0, 1), height=120).line([0, 1], [0, 1]),
+            Plot(Axis(0, 1), Axis(0, 1), height=150).line([0, 1], [1, 0]),
+        ]
+        svg = stack_plots(plots, title="stacked")
+        parse(svg)
+        assert 'height="294"' in svg  # 120 + 150 + 24 title offset
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stack_plots([])

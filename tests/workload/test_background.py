@@ -1,0 +1,59 @@
+"""Tests for background-application noise timelines."""
+
+import numpy as np
+import pytest
+
+from repro.sim.events import SEC
+from repro.workload.background import office_background, slack_timeline, spotify_timeline
+from repro.workload.phases import BurstKind
+
+HORIZON = 15 * SEC
+
+
+class TestSpotify:
+    def test_streams_for_whole_horizon(self, rng):
+        timeline = spotify_timeline(HORIZON, rng)
+        network = timeline.of_kind(BurstKind.NETWORK)
+        assert len(network) == 1
+        assert network[0].duration_ns == HORIZON
+
+    def test_low_intensity(self, rng):
+        timeline = spotify_timeline(HORIZON, rng)
+        assert all(b.intensity < 0.5 for b in timeline)
+
+    def test_invalid_intensity(self, rng):
+        with pytest.raises(ValueError):
+            spotify_timeline(HORIZON, rng, intensity=0.0)
+
+
+class TestSlack:
+    def test_periodic_wakes(self, rng):
+        timeline = slack_timeline(HORIZON, rng)
+        network = timeline.of_kind(BurstKind.NETWORK)
+        assert 3 <= len(network) <= 12  # ~every 2.5 s over 15 s
+
+    def test_short_horizon_still_produces_activity(self, rng):
+        timeline = slack_timeline(int(0.2 * SEC), rng)
+        assert len(timeline) >= 1
+
+    def test_invalid_interval(self, rng):
+        with pytest.raises(ValueError):
+            slack_timeline(HORIZON, rng, wake_interval_s=0)
+
+
+class TestOfficeBackground:
+    def test_returns_both_apps(self):
+        timelines = office_background(HORIZON, seed=0)
+        assert len(timelines) == 2
+
+    def test_deterministic_per_seed(self):
+        a = office_background(HORIZON, seed=5)
+        b = office_background(HORIZON, seed=5)
+        assert len(a[1]) == len(b[1])
+        assert [x.start_ns for x in a[1]] == [x.start_ns for x in b[1]]
+
+    def test_noise_is_modest(self):
+        """Background apps add load but never saturate the system."""
+        for timeline in office_background(HORIZON, seed=1):
+            loads = [timeline.load_at(t) for t in np.linspace(0, HORIZON - 1, 50)]
+            assert max(loads) < 0.5

@@ -1,0 +1,127 @@
+"""Tests for website profiles and load generation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.events import SEC
+from repro.workload.phases import BurstKind
+from repro.workload.website import (
+    MARQUEE_PROFILES,
+    SiteStyle,
+    WebsiteProfile,
+    amazon_profile,
+    nytimes_profile,
+    profile_for,
+    weather_profile,
+)
+
+HORIZON = 15 * SEC
+
+
+class TestSignatureDeterminism:
+    def test_same_name_same_signature(self):
+        a, b = WebsiteProfile("example.com"), WebsiteProfile("example.com")
+        assert [t.start_s for t in a.templates] == [t.start_s for t in b.templates]
+        assert a.style == b.style
+
+    def test_different_names_differ(self):
+        a, b = WebsiteProfile("alpha.com"), WebsiteProfile("beta.com")
+        assert [t.start_s for t in a.templates] != [t.start_s for t in b.templates]
+
+    def test_explicit_seed_overrides_name(self):
+        a = WebsiteProfile("x.com", seed=42)
+        b = WebsiteProfile("y.com", seed=42)
+        assert [t.start_s for t in a.templates] == [t.start_s for t in b.templates]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            WebsiteProfile("")
+
+    def test_every_signature_starts_with_network(self):
+        for name in ("a.com", "b.com", "c.com", "d.com"):
+            profile = WebsiteProfile(name)
+            assert profile.templates[0].kind is BurstKind.NETWORK
+            assert profile.templates[0].start_s < 0.5
+
+
+class TestGenerateLoad:
+    def test_bursts_within_horizon(self, rng):
+        timeline = WebsiteProfile("example.com").generate_load(rng, HORIZON)
+        for b in timeline:
+            assert 0 <= b.start_ns < HORIZON
+            assert b.end_ns <= HORIZON
+
+    def test_loads_differ_between_runs(self):
+        profile = WebsiteProfile("example.com")
+        a = profile.generate_load(np.random.default_rng(1), HORIZON)
+        b = profile.generate_load(np.random.default_rng(2), HORIZON)
+        starts_a = sorted(x.start_ns for x in a)
+        starts_b = sorted(x.start_ns for x in b)
+        assert starts_a != starts_b
+
+    def test_loads_same_seed_identical(self):
+        profile = WebsiteProfile("example.com")
+        a = profile.generate_load(np.random.default_rng(9), HORIZON)
+        b = profile.generate_load(np.random.default_rng(9), HORIZON)
+        assert sorted(x.start_ns for x in a) == sorted(x.start_ns for x in b)
+
+    def test_time_stretch_shifts_bursts_later(self):
+        profile = WebsiteProfile("example.com")
+        normal = profile.generate_load(np.random.default_rng(3), HORIZON, time_stretch=1.0)
+        slow = profile.generate_load(np.random.default_rng(3), HORIZON, time_stretch=2.5)
+        # Compare the latest signature burst (background bursts excluded).
+        latest = lambda tl: max(
+            b.start_ns for b in tl if b.source != "background"
+        )
+        assert latest(slow) > latest(normal)
+
+    def test_invalid_stretch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            WebsiteProfile("example.com").generate_load(rng, HORIZON, time_stretch=0)
+
+    def test_intensities_valid(self, rng):
+        timeline = WebsiteProfile("example.com").generate_load(rng, HORIZON)
+        for b in timeline:
+            assert 0 < b.intensity <= 1.0
+
+
+class TestMarqueeProfiles:
+    def test_lookup(self):
+        assert profile_for("nytimes.com").name == "nytimes.com"
+        assert profile_for("unknown-site.com").name == "unknown-site.com"
+
+    def test_marquee_registry(self):
+        assert set(MARQUEE_PROFILES) == {"nytimes.com", "amazon.com", "weather.com"}
+
+    def test_nytimes_front_loaded(self):
+        """Fig 5: nytimes does most of its work in the first ~4 s."""
+        profile = nytimes_profile()
+        heavy = [t for t in profile.templates if t.intensity > 0.5]
+        assert all(t.start_s < 4.0 for t in heavy)
+
+    def test_amazon_has_late_spikes(self):
+        """Fig 3: amazon spikes near 5 s and 10 s."""
+        starts = [t.start_s for t in amazon_profile().templates]
+        assert any(4.5 <= s <= 5.5 for s in starts)
+        assert any(9.5 <= s <= 10.5 for s in starts)
+
+    def test_weather_is_resched_heavy(self):
+        """§5.2: weather.com routinely triggers rescheduling interrupts."""
+        weather = weather_profile()
+        others = [nytimes_profile(), amazon_profile()]
+        assert weather.style.resched_weight > max(
+            p.style.resched_weight for p in others
+        )
+        compute = [t for t in weather.templates if t.kind is BurstKind.COMPUTE]
+        assert len(compute) >= 3
+
+
+class TestSiteStyle:
+    def test_defaults(self):
+        style = SiteStyle()
+        assert style.resched_weight == 1.0
+        assert style.net_coalescing == 1.0
+
+    def test_procedural_styles_vary(self):
+        weights = {WebsiteProfile(f"site{i}.com").style.resched_weight for i in range(10)}
+        assert len(weights) == 10
