@@ -1,0 +1,62 @@
+"""Benchmark: parallel engine and trace cache vs the serial baseline.
+
+Records three wall-clock measurements for ``table2`` at ``SMOKE`` scale
+into ``benchmarks/results/engine.txt``:
+
+* cold serial (``jobs=1``, empty cache),
+* cold parallel (``jobs=4``, cache disabled),
+* warm serial (``jobs=1``, cache populated by the cold run).
+
+Determinism is asserted unconditionally — all three produce the same
+rendered table.  The warm-cache run must beat the cold run by >= 3x (it
+skips simulation entirely).  The parallel run's speedup is recorded but
+not asserted: CI boxes may expose a single core, where process fan-out
+cannot win.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.config import SMOKE
+from repro.engine import ExecutionEngine, RunContext, TraceCache
+from repro.experiments import table2  # noqa: F401  (registers table2)
+from repro.experiments.base import get_experiment
+
+pytestmark = pytest.mark.slow
+
+
+def _run(jobs: int, cache: TraceCache | None) -> tuple[float, str]:
+    engine = ExecutionEngine(jobs=jobs, cache=cache)
+    ctx = RunContext(scale=SMOKE, seed=0, engine=engine)
+    started = time.perf_counter()
+    result = get_experiment("table2")(ctx)
+    return time.perf_counter() - started, result.format_table()
+
+
+def test_engine_speedup(results_dir, tmp_path_factory):
+    cache = TraceCache(tmp_path_factory.mktemp("engine-bench") / "cache")
+
+    cold_s, cold_table = _run(jobs=1, cache=cache)
+    parallel_s, parallel_table = _run(jobs=4, cache=None)
+    warm_s, warm_table = _run(jobs=1, cache=cache)
+
+    assert parallel_table == cold_table, "parallel run must be bit-identical"
+    assert warm_table == cold_table, "cached run must be bit-identical"
+
+    warm_speedup = cold_s / warm_s
+    lines = [
+        "table2 @ smoke scale (seed 0)",
+        f"cold serial (jobs=1):    {cold_s:8.2f}s",
+        f"cold parallel (jobs=4):  {parallel_s:8.2f}s  ({cold_s / parallel_s:.2f}x)",
+        f"warm cache (jobs=1):     {warm_s:8.2f}s  ({warm_speedup:.2f}x)",
+        f"cache: {cache.stats.hits} hits, {cache.stats.misses} misses, "
+        f"{cache.stats.bytes_written} bytes written",
+        "parallel == serial: yes",
+        "warm == cold: yes",
+    ]
+    (results_dir / "engine.txt").write_text("\n".join(lines) + "\n")
+
+    assert warm_speedup >= 3.0, f"warm cache only {warm_speedup:.2f}x faster"

@@ -18,6 +18,13 @@ Quick start::
 """
 
 from repro.config import DEFAULT, PAPER, SCALES, SMOKE, Scale
+from repro.engine import (
+    CacheStats,
+    ExecutionEngine,
+    RunContext,
+    RunManifest,
+    TraceCache,
+)
 from repro.core import (
     FingerprintingPipeline,
     LoopCountingAttacker,
@@ -45,6 +52,7 @@ from repro.workload import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CacheStats", "ExecutionEngine", "RunContext", "RunManifest", "TraceCache",
     "DEFAULT", "PAPER", "SCALES", "SMOKE", "Scale", "FingerprintingPipeline",
     "LoopCountingAttacker", "NoiseHooks", "SweepCountingAttacker", "Trace",
     "TraceCollector", "TraceSpec", "analyze_run", "InterruptSynthesizer",

@@ -10,7 +10,7 @@ records the scale used for every reported number.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
 
 @dataclass(frozen=True)
@@ -47,6 +47,10 @@ class Scale:
     def with_(self, **changes) -> "Scale":
         """Copy with fields replaced."""
         return replace(self, **changes)
+
+    def as_dict(self) -> dict:
+        """Plain-dict rendition (recorded in run manifests)."""
+        return asdict(self)
 
 
 SMOKE = Scale(

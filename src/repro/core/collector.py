@@ -5,6 +5,13 @@ activity timeline → interrupt synthesis → attacker-loop walk through the
 browser timer — and produces :class:`~repro.core.trace.Trace` objects
 and labeled datasets.  This mirrors the paper's Selenium-automated data
 collection (§4.1): repeated site loads, one trace per load.
+
+Collection is embarrassingly parallel at (site, trace-index) granularity
+— every trace derives its RNG stream from ``(collector seed, site seed,
+trace index)`` alone — so ``collect_dataset`` fans out over an
+:class:`~repro.engine.engine.ExecutionEngine` when one is attached, and
+consults the engine's :class:`~repro.engine.cache.TraceCache` before
+simulating anything.  Parallel, cached and serial runs are bit-identical.
 """
 
 from __future__ import annotations
@@ -56,6 +63,8 @@ class TraceCollector:
         period_ns: Optional[int] = None,
         timer: Optional[TimerSpec] = None,
         seed: int = 0,
+        engine=None,
+        cache=None,
     ):
         self.machine = machine
         self.browser = browser
@@ -65,6 +74,16 @@ class TraceCollector:
         self.seed = int(seed)
         self.synthesizer = InterruptSynthesizer(machine)
         self.spec = TraceSpec(horizon_ns=browser.horizon_ns, period_ns=self.period_ns)
+        self.engine = engine
+        self.cache = cache if cache is not None else getattr(engine, "cache", None)
+
+    def __getstate__(self):
+        # Engine and cache handles must never cross the process boundary:
+        # workers simulate, the parent owns scheduling and cache writes.
+        state = self.__dict__.copy()
+        state["engine"] = None
+        state["cache"] = None
+        return state
 
     # ------------------------------------------------------------------
 
@@ -75,13 +94,24 @@ class TraceCollector:
         noise: Optional[NoiseHooks] = None,
     ) -> Trace:
         """Load ``site`` once and record the attacker's trace."""
-        noise = noise or NoiseHooks()
-        rng = np.random.default_rng(
-            (self.seed * 1_000_003 + site.seed * 7_919 + trace_index) & 0x7FFFFFFF
-        )
-        run = self._simulate(site, rng, noise)
-        timer = self.timer_spec.build(seed=int(rng.integers(0, 2**31)))
-        return self._walk_periods(run, timer, rng, label=site.name)
+        key = self._cache_key(site, trace_index, noise) if self.cache else None
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        trace = self._collect_uncached(site, trace_index, noise)
+        if key is not None:
+            self.cache.put(key, trace)
+        return trace
+
+    def collect_traces(
+        self,
+        site: WebsiteProfile,
+        n_traces: int,
+        noise: Optional[NoiseHooks] = None,
+    ) -> list[Trace]:
+        """``n_traces`` independent loads of one site, engine-scheduled."""
+        return self._collect_batch([(site, k, noise) for k in range(n_traces)])
 
     def collect_dataset(
         self,
@@ -93,14 +123,94 @@ class TraceCollector:
         """Collect ``traces_per_site`` traces per site into ``(X, y)``."""
         if traces_per_site < 1:
             raise ValueError(f"need at least one trace per site, got {traces_per_site}")
-        traces: list[Trace] = []
-        for site_idx, site in enumerate(sites):
-            label = labels[site_idx] if labels is not None else site.name
-            for k in range(traces_per_site):
-                trace = self.collect_trace(site, trace_index=k, noise=noise)
-                trace.label = label
-                traces.append(trace)
+        requests = [
+            (site, k, noise)
+            for site in sites
+            for k in range(traces_per_site)
+        ]
+        traces = self._collect_batch(requests)
+        if labels is not None:
+            for i, trace in enumerate(traces):
+                trace.label = labels[i // traces_per_site]
         return stack_dataset(traces)
+
+    def _collect_batch(
+        self, requests: Sequence[tuple[WebsiteProfile, int, Optional[NoiseHooks]]]
+    ) -> list[Trace]:
+        """Resolve (site, index, noise) requests via cache, then engine.
+
+        Cache lookups happen in the parent process; only misses are
+        dispatched to workers, and their results are written back here —
+        workers never touch the cache, so there are no write races.
+        """
+        traces: list[Optional[Trace]] = [None] * len(requests)
+        missing: list[int] = []
+        keys: list[Optional[str]] = [None] * len(requests)
+        for i, (site, k, noise) in enumerate(requests):
+            key = self._cache_key(site, k, noise) if self.cache else None
+            keys[i] = key
+            cached = self.cache.get(key) if key is not None else None
+            if cached is not None:
+                traces[i] = cached
+            else:
+                missing.append(i)
+        if missing:
+            engine = self.engine
+            tasks = [(self, *requests[i]) for i in missing]
+            if engine is not None:
+                fresh = engine.map(_collect_task, tasks, stage="collect")
+            else:
+                fresh = [_collect_task(task) for task in tasks]
+            for i, trace in zip(missing, fresh):
+                traces[i] = trace
+                if keys[i] is not None:
+                    self.cache.put(keys[i], trace)
+        return traces  # type: ignore[return-value]
+
+    def _cache_key(
+        self, site: WebsiteProfile, trace_index: int, noise: Optional[NoiseHooks]
+    ) -> Optional[str]:
+        """Content hash of everything that determines this trace.
+
+        Returns None (bypassing the cache) when any component — usually a
+        custom noise injector — cannot be canonically tokenized.
+        """
+        from repro import __version__
+        from repro.engine.cache import Uncacheable, cache_key
+
+        try:
+            return cache_key(
+                {
+                    "version": __version__,
+                    "machine": self.machine,
+                    "browser": self.browser,
+                    "attacker": self.attacker,
+                    "timer": self.timer_spec,
+                    "period_ns": self.period_ns,
+                    "horizon_ns": self.spec.horizon_ns,
+                    "site": site,
+                    "trace_index": int(trace_index),
+                    "seed": self.seed,
+                    "noise": noise,
+                }
+            )
+        except Uncacheable:
+            return None
+
+    def _collect_uncached(
+        self,
+        site: WebsiteProfile,
+        trace_index: int,
+        noise: Optional[NoiseHooks],
+    ) -> Trace:
+        """The original collection path: simulate, then walk periods."""
+        noise = noise or NoiseHooks()
+        rng = np.random.default_rng(
+            (self.seed * 1_000_003 + site.seed * 7_919 + trace_index) & 0x7FFFFFFF
+        )
+        run = self._simulate(site, rng, noise)
+        timer = self.timer_spec.build(seed=int(rng.integers(0, 2**31)))
+        return self._walk_periods(run, timer, rng, label=site.name)
 
     # ------------------------------------------------------------------
 
@@ -176,3 +286,13 @@ class TraceCollector:
             label=label,
             attacker=self.attacker.name,
         )
+
+
+def _collect_task(task: tuple) -> Trace:
+    """One (collector, site, trace_index, noise) unit of engine work.
+
+    Module-level so it pickles into worker processes; the collector
+    pickles without its engine/cache handles (see ``__getstate__``).
+    """
+    collector, site, trace_index, noise = task
+    return collector._collect_uncached(site, trace_index, noise)

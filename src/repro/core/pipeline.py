@@ -12,6 +12,7 @@ cross-validated evaluation for both of the paper's setups:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -51,33 +52,93 @@ class OpenWorldResult:
     missed_sensitive_rate: MeanStd | None = None
 
 
+@dataclass(frozen=True)
+class _BackendFactory:
+    """Picklable ``make_classifier(fold)`` for parallel cross-validation."""
+
+    backend: str
+    seed: int
+
+    def __call__(self, fold: int):
+        return make_fingerprinter(self.backend, seed=self.seed + fold)
+
+
 class FingerprintingPipeline:
-    """One attack configuration, ready to evaluate."""
+    """One attack configuration, ready to evaluate.
+
+    Everything after ``machine``/``browser`` is keyword-only; prefer
+    :meth:`from_spec`, which also accepts a
+    :class:`~repro.engine.context.RunContext` so experiments never
+    hand-wire :class:`~repro.core.collector.TraceCollector` internals.
+    """
 
     def __init__(
         self,
         machine: MachineConfig,
         browser: Browser,
+        *,
         attacker: Optional[Attacker] = None,
         scale: Scale = DEFAULT,
         timer: Optional[TimerSpec] = None,
         period_ms: Optional[float] = None,
         seed: int = 0,
+        engine=None,
     ):
+        if period_ms is not None:
+            warnings.warn(
+                "FingerprintingPipeline(period_ms=...) is deprecated; pass "
+                "scale.with_(period_ms=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            scale = scale.with_(period_ms=float(period_ms))
         self.machine = machine
         self.scale = scale
         self.seed = int(seed)
+        self.engine = engine
         trace_seconds = scale.scaled_trace_seconds(browser.trace_seconds)
         self.browser = _dc_replace(browser, trace_seconds=trace_seconds)
         self.attacker = attacker or LoopCountingAttacker()
-        period = period_ms if period_ms is not None else scale.period_ms
         self.collector = TraceCollector(
             machine,
             self.browser,
             attacker=self.attacker,
-            period_ns=int(period * MS),
+            period_ns=int(scale.period_ms * MS),
             timer=timer,
             seed=seed,
+            engine=engine,
+        )
+
+    @classmethod
+    def from_spec(
+        cls,
+        machine: MachineConfig,
+        browser: Browser,
+        *,
+        ctx=None,
+        attacker: Optional[Attacker] = None,
+        scale: Optional[Scale] = None,
+        timer: Optional[TimerSpec] = None,
+        seed: Optional[int] = None,
+        engine=None,
+    ) -> "FingerprintingPipeline":
+        """Build a pipeline from declarative parts.
+
+        A :class:`~repro.engine.context.RunContext` supplies scale, seed
+        and engine defaults; explicit keyword arguments override it.
+        """
+        if ctx is not None:
+            scale = scale if scale is not None else ctx.scale
+            seed = seed if seed is not None else ctx.seed
+            engine = engine if engine is not None else ctx.engine
+        return cls(
+            machine,
+            browser,
+            attacker=attacker,
+            scale=scale if scale is not None else DEFAULT,
+            timer=timer,
+            seed=seed if seed is not None else 0,
+            engine=engine,
         )
 
     # ------------------------------------------------------------------
@@ -104,12 +165,13 @@ class FingerprintingPipeline:
         encoder = LabelEncoder()
         y = encoder.fit_transform(list(labels))
         return cross_validate(
-            lambda fold: make_fingerprinter(self.scale.backend, seed=self.seed + fold),
+            _BackendFactory(self.scale.backend, self.seed),
             x,
             y,
             n_classes=encoder.n_classes,
             n_folds=self.scale.n_folds,
             seed=self.seed,
+            engine=self.engine,
         )
 
     # ------------------------------------------------------------------
@@ -129,29 +191,40 @@ class FingerprintingPipeline:
         encoder = LabelEncoder()
         y = encoder.fit_transform(all_labels)
         non_sensitive_class = encoder.transform([NON_SENSITIVE_LABEL])[0]
+        make_classifier = _BackendFactory(self.scale.backend, self.seed)
+        tasks = [
+            (
+                make_classifier,
+                fold,
+                x,
+                y,
+                encoder.n_classes,
+                train_idx,
+                test_idx,
+                int(non_sensitive_class),
+            )
+            for fold, (train_idx, test_idx) in enumerate(
+                stratified_kfold(y, self.scale.n_folds, self.seed)
+            )
+        ]
+        if self.engine is not None:
+            outcomes = self.engine.map(_open_world_fold_task, tasks, stage="train")
+        else:
+            outcomes = [_open_world_fold_task(task) for task in tasks]
         fold_sensitive: list[float] = []
         fold_non_sensitive: list[float] = []
         fold_combined: list[float] = []
         fold_false_accusation: list[float] = []
         fold_missed: list[float] = []
-        for fold, (train_idx, test_idx) in enumerate(
-            stratified_kfold(y, self.scale.n_folds, self.seed)
-        ):
-            classifier = make_fingerprinter(self.scale.backend, seed=self.seed + fold)
-            classifier.fit(x[train_idx], y[train_idx], encoder.n_classes)
-            predictions = classifier.predict_proba(x[test_idx]).argmax(axis=1)
-            truth = y[test_idx]
-            correct = predictions == truth
-            sensitive_mask = truth != non_sensitive_class
-            fold_combined.append(float(correct.mean()))
-            if sensitive_mask.any():
-                fold_sensitive.append(float(correct[sensitive_mask].mean()))
-            if (~sensitive_mask).any():
-                fold_non_sensitive.append(float(correct[~sensitive_mask].mean()))
-            if sensitive_mask.any() and (~sensitive_mask).any():
-                errors = open_world_metrics(truth, predictions, int(non_sensitive_class))
-                fold_false_accusation.append(errors.false_accusation_rate)
-                fold_missed.append(errors.missed_sensitive_rate)
+        for combined, sensitive, non_sensitive, false_accusation, missed in outcomes:
+            fold_combined.append(combined)
+            if sensitive is not None:
+                fold_sensitive.append(sensitive)
+            if non_sensitive is not None:
+                fold_non_sensitive.append(non_sensitive)
+            if false_accusation is not None:
+                fold_false_accusation.append(false_accusation)
+                fold_missed.append(missed)
         return OpenWorldResult(
             sensitive=MeanStd.of(fold_sensitive),
             non_sensitive=MeanStd.of(fold_non_sensitive),
@@ -163,3 +236,40 @@ class FingerprintingPipeline:
                 MeanStd.of(fold_missed) if fold_missed else None
             ),
         )
+
+
+def _open_world_fold_task(
+    task: tuple,
+) -> tuple[float, Optional[float], Optional[float], Optional[float], Optional[float]]:
+    """One open-world CV fold; module-level so it pickles to workers.
+
+    Returns ``(combined, sensitive, non_sensitive, false_accusation,
+    missed)`` with None where the fold lacks the relevant class mix.
+    """
+    (
+        make_classifier,
+        fold,
+        x,
+        y,
+        n_classes,
+        train_idx,
+        test_idx,
+        non_sensitive_class,
+    ) = task
+    classifier = make_classifier(fold)
+    classifier.fit(x[train_idx], y[train_idx], n_classes)
+    predictions = classifier.predict_proba(x[test_idx]).argmax(axis=1)
+    truth = y[test_idx]
+    correct = predictions == truth
+    sensitive_mask = truth != non_sensitive_class
+    combined = float(correct.mean())
+    sensitive = float(correct[sensitive_mask].mean()) if sensitive_mask.any() else None
+    non_sensitive = (
+        float(correct[~sensitive_mask].mean()) if (~sensitive_mask).any() else None
+    )
+    false_accusation = missed = None
+    if sensitive_mask.any() and (~sensitive_mask).any():
+        errors = open_world_metrics(truth, predictions, non_sensitive_class)
+        false_accusation = errors.false_accusation_rate
+        missed = errors.missed_sensitive_rate
+    return combined, sensitive, non_sensitive, false_accusation, missed

@@ -1,0 +1,127 @@
+"""The work scheduler behind parallel experiment execution.
+
+``ExecutionEngine.map`` is deliberately the *only* parallel primitive:
+callers pre-compute one task description per unit of work (a (site,
+trace-index) pair, a CV fold), each task derives its own RNG stream from
+the task description alone, and the engine returns results in input
+order.  Under those rules a parallel run is bit-identical to a serial
+one — the scheduler never influences the numbers, only the wall clock.
+
+Worker processes are spawned per ``map`` call via
+``concurrent.futures.ProcessPoolExecutor``; tasks and their arguments
+must therefore be picklable module-level callables.  Objects holding an
+engine handle must drop it when pickled (see
+``TraceCollector.__getstate__``) so handles never cross the process
+boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Dict, Optional, Sequence, TypeVar
+
+#: Environment variable overriding the default worker count.
+JOBS_ENV_VAR = "BIGGERFISH_JOBS"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count from an explicit value, ``BIGGERFISH_JOBS``, or 1.
+
+    The default is *serial*: parallelism is opt-in via ``--jobs`` or the
+    environment, mirroring the CLI contract.
+    """
+    if jobs is not None:
+        value = int(jobs)
+    else:
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        try:
+            value = int(raw) if raw else 1
+        except ValueError:
+            raise ValueError(
+                f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
+            ) from None
+    if value < 1:
+        raise ValueError(f"jobs must be >= 1, got {value}")
+    return value
+
+
+class ExecutionEngine:
+    """Fans independent tasks out over worker processes.
+
+    ``jobs=1`` (the default) executes tasks inline — no processes, no
+    pickling — so library users pay nothing unless they opt in.  The
+    engine also carries the run's :class:`~repro.engine.cache.TraceCache`
+    handle (``cache=None`` disables caching) and accumulates per-stage
+    wall-clock timings for the run manifest.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, cache=None):
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        #: Stage name -> cumulative wall-clock seconds spent in map().
+        self.stage_seconds: Dict[str, float] = {}
+        #: Stage name -> cumulative task count.
+        self.stage_tasks: Dict[str, int] = {}
+
+    def __repr__(self) -> str:
+        cache = "on" if self.cache is not None else "off"
+        return f"ExecutionEngine(jobs={self.jobs}, cache={cache})"
+
+    # ------------------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        stage: Optional[str] = None,
+    ) -> list[R]:
+        """Apply ``fn`` to every item, preserving input order.
+
+        With ``jobs > 1`` and more than one item, work is distributed
+        over a fresh process pool; otherwise it runs inline.  ``fn`` and
+        the items must be picklable for the parallel path.
+        """
+        items = list(items)
+        started = time.perf_counter()
+        try:
+            if self.jobs == 1 or len(items) <= 1:
+                results = [fn(item) for item in items]
+            else:
+                results = self._map_parallel(fn, items)
+        finally:
+            if stage is not None:
+                self.record(stage, time.perf_counter() - started, len(items))
+        return results
+
+    def _map_parallel(self, fn: Callable[[T], R], items: list[T]) -> list[R]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = min(self.jobs, len(items))
+        chunksize = max(1, len(items) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))
+
+    # ------------------------------------------------------------------
+
+    def record(self, stage: str, seconds: float, tasks: int = 0) -> None:
+        """Accumulate wall-clock time (and task count) under a stage name."""
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+        self.stage_tasks[stage] = self.stage_tasks.get(stage, 0) + tasks
+
+    def timings_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Copy of the accumulated stage timings (for manifests)."""
+        return {
+            stage: {
+                "seconds": round(self.stage_seconds[stage], 6),
+                "tasks": self.stage_tasks.get(stage, 0),
+            }
+            for stage in sorted(self.stage_seconds)
+        }
+
+    def reset_timings(self) -> None:
+        self.stage_seconds.clear()
+        self.stage_tasks.clear()

@@ -1,0 +1,84 @@
+"""Per-run JSON manifest.
+
+Each ``biggerfish`` invocation with ``--save-dir`` writes a
+``run_manifest.json`` next to the rendered tables recording what was run
+and how long every stage took: per-experiment wall clock, per-stage
+engine timings (collect / train / open-world), cache hit/miss/byte
+counters, worker count, seed and scale.  Two consecutive manifests are
+how the cold-vs-warm cache speedup is measured and reported.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.engine.engine import ExecutionEngine
+
+#: File name written inside ``--save-dir``.
+MANIFEST_FILENAME = "run_manifest.json"
+
+
+@dataclass
+class RunManifest:
+    """Accumulates one CLI run's record, then serializes it."""
+
+    scale: str
+    seed: int
+    jobs: int
+    scale_params: Optional[Dict[str, Any]] = None
+    created_unix: float = field(default_factory=time.time)
+    experiments: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    cache: Optional[Dict[str, Any]] = None
+    package_version: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.package_version:
+            from repro import __version__
+
+            self.package_version = __version__
+
+    def add_experiment(
+        self,
+        experiment_id: str,
+        elapsed_s: float,
+        stages: Dict[str, Dict[str, float]],
+    ) -> None:
+        """Record one experiment's wall clock and its stage breakdown."""
+        self.experiments[experiment_id] = {
+            "elapsed_s": round(elapsed_s, 6),
+            "stages": stages,
+        }
+
+    def finalize(self, engine: ExecutionEngine) -> None:
+        """Fold in the engine's cache statistics (if caching was on)."""
+        if engine.cache is not None:
+            self.cache = {
+                **engine.cache.info(),
+                **engine.cache.stats.as_dict(),
+            }
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": 1,
+            "created_unix": round(self.created_unix, 3),
+            "scale": self.scale,
+            "scale_params": self.scale_params,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "package_version": self.package_version,
+            "total_elapsed_s": round(
+                sum(e["elapsed_s"] for e in self.experiments.values()), 6
+            ),
+            "experiments": self.experiments,
+            "cache": self.cache,
+        }
+
+    def write(self, directory: pathlib.Path) -> pathlib.Path:
+        """Serialize to ``<directory>/run_manifest.json``; returns the path."""
+        path = pathlib.Path(directory) / MANIFEST_FILENAME
+        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=False) + "\n")
+        return path

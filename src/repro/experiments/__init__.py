@@ -1,15 +1,25 @@
 """One module per paper table/figure, plus the registry and CLI runner."""
 
 from repro.experiments.base import (
+    Experiment,
+    ExperimentHandle,
     ExperimentResult,
+    ExperimentSpec,
+    FunctionExperiment,
+    all_specs,
     format_rows,
     get_experiment,
+    get_spec,
     list_experiments,
     register,
+    run_experiment,
     sparkline,
+    suggest_experiment,
 )
 
 __all__ = [
-    "ExperimentResult", "format_rows", "get_experiment", "list_experiments",
-    "register", "sparkline",
+    "Experiment", "ExperimentHandle", "ExperimentResult", "ExperimentSpec",
+    "FunctionExperiment", "all_specs", "format_rows", "get_experiment",
+    "get_spec", "list_experiments", "register", "run_experiment",
+    "sparkline", "suggest_experiment",
 ]

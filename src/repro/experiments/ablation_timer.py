@@ -18,7 +18,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.config import DEFAULT, Scale
 from repro.core.attacker import LoopCountingAttacker
 from repro.core.pipeline import FingerprintingPipeline
 from repro.experiments.base import ExperimentResult, format_rows, register
@@ -82,8 +81,12 @@ VARIANTS: tuple[tuple[str, tuple[int, int], float], ...] = (
 )
 
 
-@register("ablation-timer")
-def run(scale: Scale = DEFAULT, seed: int = 0) -> TimerAblationResult:
+@register(
+    "ablation-timer",
+    paper_ref="DESIGN.md §7",
+    description="randomized-timer parameter sweep (range width, tether)",
+)
+def run(ctx) -> TimerAblationResult:
     """Sweep α/β ranges and thresholds of the randomized timer."""
     rows: list[TimerAblationRow] = []
     for label, span, threshold_ms in VARIANTS:
@@ -94,9 +97,9 @@ def run(scale: Scale = DEFAULT, seed: int = 0) -> TimerAblationResult:
             beta_range=span,
             threshold_ns=threshold_ms * MS,
         )
-        pipeline = FingerprintingPipeline(
+        pipeline = FingerprintingPipeline.from_spec(
             MachineConfig(os=LINUX), CHROME,
-            attacker=LoopCountingAttacker(), scale=scale, timer=spec, seed=seed,
+            attacker=LoopCountingAttacker(), timer=spec, ctx=ctx,
         )
         rows.append(
             TimerAblationRow(
@@ -105,7 +108,7 @@ def run(scale: Scale = DEFAULT, seed: int = 0) -> TimerAblationResult:
                 beta_range=span,
                 threshold_ms=threshold_ms,
                 result=pipeline.run_closed_world(),
-                mean_deviation_ms=_mean_deviation_ms(spec, seed=seed),
+                mean_deviation_ms=_mean_deviation_ms(spec, seed=ctx.seed),
             )
         )
-    return TimerAblationResult(rows=rows, base_rate=1.0 / scale.n_sites)
+    return TimerAblationResult(rows=rows, base_rate=1.0 / ctx.scale.n_sites)

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.config import DEFAULT, Scale
 from repro.core.attacker import LoopCountingAttacker
 from repro.core.collector import NoiseHooks
 from repro.core.pipeline import FingerprintingPipeline
@@ -43,14 +42,18 @@ class BackgroundNoiseResult(ExperimentResult):
         )
 
 
-@register("background-noise")
-def run(scale: Scale = DEFAULT, seed: int = 0) -> BackgroundNoiseResult:
+@register(
+    "background-noise",
+    paper_ref="§4.2",
+    description="attack robustness to Slack + Spotify background noise",
+)
+def run(ctx) -> BackgroundNoiseResult:
     """Evaluate the attack with and without office background apps."""
-    pipeline = FingerprintingPipeline(
+    pipeline = FingerprintingPipeline.from_spec(
         MachineConfig(os=LINUX), CHROME,
-        attacker=LoopCountingAttacker(), scale=scale, seed=seed,
+        attacker=LoopCountingAttacker(), ctx=ctx,
     )
     quiet = pipeline.run_closed_world()
-    background = office_background(pipeline.collector.spec.horizon_ns, seed=seed)
+    background = office_background(pipeline.collector.spec.horizon_ns, seed=ctx.seed)
     noisy = pipeline.run_closed_world(noise=NoiseHooks(extra_timelines=background))
     return BackgroundNoiseResult(quiet=quiet, noisy=noisy)

@@ -1,18 +1,33 @@
 """Experiment infrastructure: results, formatting, registry.
 
-Every paper table and figure has a module in this package exposing
-``run(scale, seed) -> Result``; results know how to print themselves as
-the rows/series the paper reports.  The registry powers the
-``biggerfish`` CLI and the benchmark harness.
+Every paper table and figure has a module in this package implementing
+the :class:`Experiment` protocol: an :class:`ExperimentSpec` (id, paper
+reference, description) plus ``run(ctx: RunContext) -> ExperimentResult``,
+where the context carries scale, seed, engine handle and trace cache.
+Results know how to print themselves as the rows/series the paper
+reports.  The registry powers the ``biggerfish`` CLI and the benchmark
+harness.
+
+Modules register a context-style run function with::
+
+    @register("table1", paper_ref="Table 1", description="...")
+    def run(ctx: RunContext, **extras) -> Table1Result: ...
+
+The decorator wraps it in a :class:`FunctionExperiment` and binds the
+module-level ``run`` name to an :class:`ExperimentHandle` — a shim that
+still accepts the pre-engine calling convention
+``run(scale, seed=...)``, so existing ``get_experiment(id)(scale=...,
+seed=...)`` call sites keep working for one release.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.config import DEFAULT, Scale
+from repro.engine.context import RunContext
 
 
 class ExperimentResult(abc.ABC):
@@ -55,24 +70,115 @@ def sparkline(values, width: int = 60) -> str:
     return "".join(glyphs[i] for i in scaled)
 
 
-#: Registered experiments: id -> run callable.
-_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Identity of one experiment: id, paper reference, one-liner."""
+
+    id: str
+    paper_ref: str = ""
+    description: str = ""
 
 
-def register(experiment_id: str):
-    """Decorator adding an experiment ``run`` function to the registry."""
+class Experiment(abc.ABC):
+    """One paper table/figure: a spec plus a context-style run method."""
 
-    def wrap(fn: Callable[..., ExperimentResult]):
+    spec: ExperimentSpec
+
+    @abc.abstractmethod
+    def run(self, ctx: RunContext, **extras) -> ExperimentResult:
+        """Produce the experiment's result under the given context."""
+
+
+class FunctionExperiment(Experiment):
+    """Adapts a ``run(ctx, **extras)`` function to the protocol."""
+
+    def __init__(self, spec: ExperimentSpec, fn: Callable[..., ExperimentResult]):
+        self.spec = spec
+        self._fn = fn
+
+    def run(self, ctx: RunContext, **extras) -> ExperimentResult:
+        return self._fn(ctx, **extras)
+
+    def __repr__(self) -> str:
+        return f"FunctionExperiment({self.spec.id!r})"
+
+
+class ExperimentHandle:
+    """Callable shim over an :class:`Experiment`.
+
+    Accepts both calling conventions:
+
+    * new — ``handle(ctx)`` / ``handle.run(ctx, **extras)``;
+    * legacy (deprecated, kept for one release) —
+      ``handle(scale, seed=0, **extras)``, which builds a default
+      :class:`RunContext` (serial engine unless ``BIGGERFISH_JOBS`` is
+      set, no cache).
+    """
+
+    def __init__(self, experiment: Experiment):
+        self.experiment = experiment
+
+    @property
+    def spec(self) -> ExperimentSpec:
+        return self.experiment.spec
+
+    def run(self, ctx: RunContext, **extras) -> ExperimentResult:
+        return self.experiment.run(ctx, **extras)
+
+    def __call__(self, *args, **extras) -> ExperimentResult:
+        ctx = extras.pop("ctx", None)
+        if args and isinstance(args[0], RunContext):
+            if ctx is not None:
+                raise TypeError("pass the RunContext positionally or as ctx=, not both")
+            ctx, args = args[0], args[1:]
+        if args and isinstance(args[0], Scale):
+            if ctx is not None:
+                raise TypeError("cannot combine a RunContext with a legacy scale")
+            scale, args = args[0], args[1:]
+            ctx = RunContext.default(scale=scale, seed=int(extras.pop("seed", 0)))
+        if args:
+            raise TypeError(f"unexpected positional arguments: {args!r}")
+        if ctx is None:
+            scale = extras.pop("scale", DEFAULT)
+            ctx = RunContext.default(scale=scale, seed=int(extras.pop("seed", 0)))
+        return self.experiment.run(ctx, **extras)
+
+    def __repr__(self) -> str:
+        return f"ExperimentHandle({self.spec.id!r})"
+
+
+#: Registered experiments: id -> handle.
+_REGISTRY: Dict[str, ExperimentHandle] = {}
+
+
+def register(experiment_id: str, paper_ref: str = "", description: str = ""):
+    """Decorator registering a ``run(ctx, **extras)`` experiment function.
+
+    Returns an :class:`ExperimentHandle`, so the module-level ``run``
+    name keeps supporting the legacy ``run(scale, seed=...)`` calls.
+    """
+
+    def wrap(fn: Callable[..., ExperimentResult]) -> ExperimentHandle:
         if experiment_id in _REGISTRY:
             raise ValueError(f"duplicate experiment id {experiment_id!r}")
-        _REGISTRY[experiment_id] = fn
-        return fn
+        doc = (fn.__doc__ or "").strip()
+        summary = description or (doc.splitlines()[0] if doc else "")
+        spec = ExperimentSpec(
+            id=experiment_id, paper_ref=paper_ref, description=summary
+        )
+        handle = ExperimentHandle(FunctionExperiment(spec, fn))
+        _REGISTRY[experiment_id] = handle
+        return handle
 
     return wrap
 
 
-def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
-    """Look up a registered experiment by id (e.g. ``"table1"``)."""
+def get_experiment(experiment_id: str) -> ExperimentHandle:
+    """Look up a registered experiment by id (e.g. ``"table1"``).
+
+    The handle is callable under both the legacy ``(scale=, seed=)``
+    convention and the new ``(ctx)`` one.
+    """
     try:
         return _REGISTRY[experiment_id]
     except KeyError:
@@ -81,6 +187,30 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
         ) from None
 
 
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """The :class:`ExperimentSpec` of a registered experiment."""
+    return get_experiment(experiment_id).spec
+
+
+def run_experiment(
+    experiment_id: str, ctx: RunContext, **extras
+) -> ExperimentResult:
+    """Run a registered experiment under a context (the new entry point)."""
+    return get_experiment(experiment_id).run(ctx, **extras)
+
+
+def suggest_experiment(experiment_id: str, n: int = 3) -> list[str]:
+    """Closest registered ids to a misspelled one (CLI did-you-mean)."""
+    import difflib
+
+    return difflib.get_close_matches(experiment_id, sorted(_REGISTRY), n=n, cutoff=0.4)
+
+
 def list_experiments() -> list[str]:
     """All registered experiment ids."""
     return sorted(_REGISTRY)
+
+
+def all_specs() -> list[ExperimentSpec]:
+    """Specs of every registered experiment, sorted by id."""
+    return [_REGISTRY[experiment_id].spec for experiment_id in sorted(_REGISTRY)]

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.config import DEFAULT, Scale
 from repro.core.collector import TraceCollector
 from repro.core.trace import Trace
 from repro.experiments.base import ExperimentResult, format_rows, register, sparkline
@@ -52,14 +51,19 @@ class Fig3Result(ExperimentResult):
         return "Figure 3: example loop-counting traces\n" + format_rows(header, rows)
 
 
-@register("fig3")
-def run(scale: Scale = DEFAULT, seed: int = 0) -> Fig3Result:
+@register(
+    "fig3",
+    paper_ref="Figure 3",
+    description="example loop-counting traces for three marquee websites",
+)
+def run(ctx) -> Fig3Result:
     """Collect one loop-counting trace per marquee site."""
     collector = TraceCollector(
         MachineConfig(os=LINUX),
         CHROME,
-        period_ns=int(scale.period_ms * MS),
-        seed=seed,
+        period_ns=int(ctx.scale.period_ms * MS),
+        seed=ctx.seed,
+        engine=ctx.engine,
     )
     traces = [collector.collect_trace(site) for site in marquee_sites()]
-    return Fig3Result(traces=traces, period_ms=scale.period_ms)
+    return Fig3Result(traces=traces, period_ms=ctx.scale.period_ms)

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.config import DEFAULT, Scale
 from repro.core.attacker import LoopCountingAttacker, SweepCountingAttacker
 from repro.core.collector import TraceCollector
 from repro.core.trace import average_traces
@@ -44,28 +43,32 @@ class Fig4Result(ExperimentResult):
         )
 
 
-@register("fig4")
-def run(scale: Scale = DEFAULT, seed: int = 0) -> Fig4Result:
+@register(
+    "fig4",
+    paper_ref="Figure 4",
+    description="loop- vs sweep-counting averaged-trace correlation",
+)
+def run(ctx) -> Fig4Result:
     """Average n runs per attacker per site and correlate them."""
-    n_runs = max(10, scale.traces_per_site)
+    n_runs = max(10, ctx.scale.traces_per_site)
     machine = MachineConfig(os=LINUX)
     collectors = {
         "loop": TraceCollector(
             machine, CHROME, attacker=LoopCountingAttacker(),
-            period_ns=int(scale.period_ms * MS), seed=seed,
+            period_ns=int(ctx.scale.period_ms * MS), seed=ctx.seed,
+            engine=ctx.engine,
         ),
         "sweep": TraceCollector(
             machine, CHROME, attacker=SweepCountingAttacker(),
-            period_ns=int(scale.period_ms * MS), seed=seed,
+            period_ns=int(ctx.scale.period_ms * MS), seed=ctx.seed,
+            engine=ctx.engine,
         ),
     }
     rows = []
     for site in marquee_sites():
         averages = {}
         for name, collector in collectors.items():
-            traces = [
-                collector.collect_trace(site, trace_index=k) for k in range(n_runs)
-            ]
+            traces = collector.collect_traces(site, n_runs)
             averages[name] = average_traces(traces)
         rows.append(
             Fig4Row(site=site.name, correlation=pearson_r(averages["loop"], averages["sweep"]))

@@ -20,7 +20,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.config import DEFAULT, Scale
 from repro.experiments.base import ExperimentResult, format_rows, register, sparkline
 from repro.sim.events import MS, seconds_to_ns
 from repro.sim.interrupts import InterruptType
@@ -90,21 +89,35 @@ class Fig5Result(ExperimentResult):
         )
 
 
-def _simulate_runs(
-    machine: MachineConfig, site, n_runs: int, horizon_ns: int, seed: int
-) -> list[MachineRun]:
+def _simulate_one(task) -> MachineRun:
+    """Synthesize a single instrumented page load (module-level: picklable)."""
+    machine, site, horizon_ns, run_seed = task
     synthesizer = InterruptSynthesizer(machine)
-    runs = []
-    for k in range(n_runs):
-        rng = np.random.default_rng(seed * 7_001 + site.seed * 31 + k)
-        timeline = site.generate_load(rng, horizon_ns)
-        runs.append(synthesizer.synthesize(timeline, style=site.style, rng=rng))
-    return runs
+    rng = np.random.default_rng(run_seed)
+    timeline = site.generate_load(rng, horizon_ns)
+    return synthesizer.synthesize(timeline, style=site.style, rng=rng)
 
 
-@register("fig5")
-def run(scale: Scale = DEFAULT, seed: int = 0) -> Fig5Result:
+def _simulate_runs(
+    machine: MachineConfig, site, n_runs: int, horizon_ns: int, seed: int, engine=None
+) -> list[MachineRun]:
+    tasks = [
+        (machine, site, horizon_ns, seed * 7_001 + site.seed * 31 + k)
+        for k in range(n_runs)
+    ]
+    if engine is not None:
+        return engine.map(_simulate_one, tasks, stage="simulate")
+    return [_simulate_one(task) for task in tasks]
+
+
+@register(
+    "fig5",
+    paper_ref="Figure 5 / §5.2",
+    description="interrupt handler-time profiles and gap attribution",
+)
+def run(ctx) -> Fig5Result:
     """Instrument runs with the eBPF tracer; aggregate handler time."""
+    scale, seed = ctx.scale, ctx.seed
     n_runs = max(5, scale.traces_per_site // 2)
     horizon_ns = seconds_to_ns(15.0 if scale.name == "paper" else scale.trace_seconds)
     # The paper pins and irqbalances for this experiment so that almost
@@ -114,7 +127,7 @@ def run(scale: Scale = DEFAULT, seed: int = 0) -> Fig5Result:
     attributed = 0
     total_gaps = 0
     for site in marquee_sites():
-        runs = _simulate_runs(machine, site, n_runs, horizon_ns, seed)
+        runs = _simulate_runs(machine, site, n_runs, horizon_ns, seed, ctx.engine)
         times, softirq = interrupt_time_series(runs, window_ns=100 * MS, types=SOFTIRQ_GROUP)
         _, resched = interrupt_time_series(runs, window_ns=100 * MS, types=RESCHED_GROUP)
         rows.append(

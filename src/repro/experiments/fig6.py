@@ -18,7 +18,6 @@ from typing import Dict
 
 import numpy as np
 
-from repro.config import DEFAULT, Scale
 from repro.experiments.base import ExperimentResult, format_rows, register, sparkline
 from repro.sim.events import US, seconds_to_ns
 from repro.sim.interrupts import InterruptType
@@ -66,25 +65,41 @@ class Fig6Result(ExperimentResult):
         )
 
 
-@register("fig6")
-def run(scale: Scale = DEFAULT, seed: int = 0) -> Fig6Result:
+def _simulate_load(task):
+    """Synthesize one page load (module-level: picklable for the engine)."""
+    machine, site, horizon_ns, run_seed = task
+    synthesizer = InterruptSynthesizer(machine)
+    rng = np.random.default_rng(run_seed)
+    timeline = site.generate_load(rng, horizon_ns)
+    return synthesizer.synthesize(timeline, style=site.style, rng=rng)
+
+
+@register(
+    "fig6",
+    paper_ref="Figure 6",
+    description="per-type distributions of interrupt-caused gap lengths",
+)
+def run(ctx) -> Fig6Result:
     """Histogram gap lengths over many page loads.
 
     The paper runs on a core that *does* receive network IRQs here (it
     needs network-receive samples), so no irqbalance; pinning stays on
     to avoid scheduler-contention gaps polluting the histograms.
     """
+    scale, seed = ctx.scale, ctx.seed
     n_sites = min(10, scale.n_sites)
     loads_per_site = max(2, min(5, scale.traces_per_site // 3))
     horizon_ns = seconds_to_ns(min(scale.trace_seconds, 8.0))
     machine = MachineConfig(os=LINUX, pin_cores=True)
-    synthesizer = InterruptSynthesizer(machine)
-    runs = []
-    for site in closed_world(n_sites):
-        for k in range(loads_per_site):
-            rng = np.random.default_rng(seed * 9_973 + site.seed * 17 + k)
-            timeline = site.generate_load(rng, horizon_ns)
-            runs.append(synthesizer.synthesize(timeline, style=site.style, rng=rng))
+    tasks = [
+        (machine, site, horizon_ns, seed * 9_973 + site.seed * 17 + k)
+        for site in closed_world(n_sites)
+        for k in range(loads_per_site)
+    ]
+    if ctx.engine is not None:
+        runs = ctx.engine.map(_simulate_load, tasks, stage="simulate")
+    else:
+        runs = [_simulate_load(task) for task in tasks]
     # Trace every core so all interrupt types (incl. network RX, which
     # is bound to its source's affinity core) are observed.
     histograms = gap_length_histograms(runs, core=-1)

@@ -13,7 +13,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.config import DEFAULT, Scale
 from repro.experiments.base import ExperimentResult, format_rows, register, sparkline
 from repro.sim.events import MS
 from repro.experiments.fig8 import TIMER_LINEUP
@@ -63,13 +62,17 @@ class Fig7Result(ExperimentResult):
         )
 
 
-@register("fig7")
-def run(scale: Scale = DEFAULT, seed: int = 0, window_ms: float = 200.0) -> Fig7Result:
+@register(
+    "fig7",
+    paper_ref="Figure 7",
+    description="observed-vs-real staircases for the three secure timers",
+)
+def run(ctx, window_ms: float = 200.0) -> Fig7Result:
     """Sample each timer at 0.05 ms resolution over the window."""
     reals = np.arange(0, window_ms * MS, 0.05 * MS)
     samples = []
     for name, spec in TIMER_LINEUP:
-        timer = spec.build(seed=seed)
+        timer = spec.build(seed=ctx.seed)
         observed = np.array([timer.read(float(t)) for t in reals])
         samples.append(TimerSample(name=name, real_ns=reals, observed_ns=observed))
     return Fig7Result(samples=samples, window_ms=window_ms)

@@ -17,7 +17,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.config import DEFAULT, Scale
 from repro.experiments.base import ExperimentResult, format_rows, register
 from repro.sim.events import MS
 from repro.timers.spec import (
@@ -71,13 +70,12 @@ class Fig8Result(ExperimentResult):
         raise KeyError(name_prefix)
 
 
-@register("fig8")
-def run(
-    scale: Scale = DEFAULT,
-    seed: int = 0,
-    period_ms: float = 5.0,
-    n_periods: int = 400,
-) -> Fig8Result:
+@register(
+    "fig8",
+    paper_ref="Figure 8",
+    description="real duration of one attacker period under each timer",
+)
+def run(ctx, period_ms: float = 5.0, n_periods: int = 400) -> Fig8Result:
     """Measure back-to-back period durations under each timer.
 
     No victim or interrupts here — the point is the timer's effect on
@@ -85,7 +83,7 @@ def run(
     """
     samples = []
     for name, spec in TIMER_LINEUP:
-        timer = spec.build(seed=seed)
+        timer = spec.build(seed=ctx.seed)
         t = 0.0
         durations = []
         for _ in range(n_periods):

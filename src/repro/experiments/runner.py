@@ -4,9 +4,18 @@ Usage::
 
     biggerfish --list
     biggerfish fig3 table2 --scale smoke --seed 1
+    biggerfish table1 --scale smoke --jobs 4 --save-dir out/
     biggerfish all --scale default
+    biggerfish cache info
+    biggerfish cache clear
 
-Each experiment prints the paper table/figure it regenerates.
+Each experiment prints the paper table/figure it regenerates.  The CLI
+caches collected traces on disk by default (``--no-cache`` disables,
+``--cache-dir`` / ``BIGGERFISH_CACHE_DIR`` relocate) and can fan work
+out over worker processes (``--jobs`` / ``BIGGERFISH_JOBS``); parallel
+runs produce bit-identical results to serial ones.  With ``--save-dir``
+a ``run_manifest.json`` records per-stage timings and cache statistics
+next to the rendered tables.
 """
 
 from __future__ import annotations
@@ -18,6 +27,8 @@ import time
 
 # Importing the experiment modules populates the registry.
 from repro.config import SCALES
+from repro.engine import ExecutionEngine, RunContext, RunManifest, TraceCache
+from repro.engine.cache import default_cache_dir
 from repro.experiments import (  # noqa: F401  (registration side effects)
     ablation_timer,
     background_noise,
@@ -32,7 +43,11 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     table3,
     table4,
 )
-from repro.experiments.base import get_experiment, list_experiments
+from repro.experiments.base import (
+    get_experiment,
+    list_experiments,
+    suggest_experiment,
+)
 from repro.viz.figures import render
 
 
@@ -47,34 +62,120 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (e.g. table1 fig5), or 'all'",
+        help=(
+            "experiment ids (e.g. table1 fig5), 'all', or the 'cache' "
+            "subcommand ('cache info' / 'cache clear')"
+        ),
     )
     parser.add_argument("--scale", choices=sorted(SCALES), default="default")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: BIGGERFISH_JOBS or 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="trace cache location (default: BIGGERFISH_CACHE_DIR or "
+        "~/.cache/biggerfish/traces)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk trace cache for this run",
+    )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
         "--save-dir",
         default=None,
-        help="write rendered tables (.txt) and figures (.svg) here",
+        help="write rendered tables (.txt), figures (.svg) and a "
+        "run_manifest.json here",
     )
     return parser
 
 
+def _cache_command(args: argparse.Namespace) -> int:
+    """Handle ``biggerfish cache info|clear``."""
+    verbs = args.experiments[1:]
+    verb = verbs[0] if verbs else "info"
+    if len(verbs) > 1 or verb not in ("info", "clear"):
+        print(
+            "usage: biggerfish cache [info|clear]", file=sys.stderr
+        )
+        return 2
+    cache = TraceCache(args.cache_dir or default_cache_dir())
+    info = cache.info()
+    if verb == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached trace(s) from {info['path']}")
+        return 0
+    print(f"cache dir:   {info['path']}")
+    print(f"entries:     {info['entries']}")
+    print(f"total bytes: {info['size_bytes']}")
+    print(f"size cap:    {info['max_bytes']}")
+    return 0
+
+
+def _resolve_ids(requested: list[str]) -> list[str] | None:
+    """Validate experiment ids; print did-you-mean and return None on error."""
+    if requested == ["all"]:
+        return list_experiments()
+    known = set(list_experiments())
+    unknown = [e for e in requested if e not in known]
+    if unknown:
+        for experiment_id in unknown:
+            hints = suggest_experiment(experiment_id)
+            suggestion = f" (did you mean: {', '.join(hints)}?)" if hints else ""
+            print(
+                f"biggerfish: unknown experiment {experiment_id!r}{suggestion}",
+                file=sys.stderr,
+            )
+        print(
+            "biggerfish: available: " + ", ".join(list_experiments()),
+            file=sys.stderr,
+        )
+        return None
+    return requested
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiments and args.experiments[0] == "cache":
+        return _cache_command(args)
     if args.list or not args.experiments:
         print("available experiments:", ", ".join(list_experiments()))
         return 0
-    wanted = list_experiments() if args.experiments == ["all"] else args.experiments
+    wanted = _resolve_ids(args.experiments)
+    if wanted is None:
+        return 2
     scale = SCALES[args.scale]
+    cache = None
+    if not args.no_cache:
+        cache = TraceCache(args.cache_dir or default_cache_dir())
+    try:
+        engine = ExecutionEngine(jobs=args.jobs, cache=cache)
+    except ValueError as error:  # bad --jobs / BIGGERFISH_JOBS value
+        print(f"biggerfish: {error}", file=sys.stderr)
+        return 2
+    ctx = RunContext(scale=scale, seed=args.seed, engine=engine)
     save_dir = pathlib.Path(args.save_dir) if args.save_dir else None
     if save_dir:
         save_dir.mkdir(parents=True, exist_ok=True)
+    manifest = RunManifest(
+        scale=scale.name,
+        seed=args.seed,
+        jobs=engine.jobs,
+        scale_params=scale.as_dict(),
+    )
     for experiment_id in wanted:
         run = get_experiment(experiment_id)
+        engine.reset_timings()
         started = time.time()
-        result = run(scale=scale, seed=args.seed)
+        result = run(ctx)
         elapsed = time.time() - started
+        manifest.add_experiment(experiment_id, elapsed, engine.timings_snapshot())
         print(f"=== {experiment_id} (scale={scale.name}, {elapsed:.1f}s) ===")
         print(result.format_table())
         print()
@@ -85,6 +186,15 @@ def main(argv: list[str] | None = None) -> int:
             svg = render(experiment_id, result)
             if svg is not None:
                 (save_dir / f"{experiment_id}.svg").write_text(svg)
+    manifest.finalize(engine)
+    if cache is not None:
+        stats = cache.stats
+        print(
+            f"[cache] {stats.hits} hit(s), {stats.misses} miss(es), "
+            f"{stats.puts} put(s) in {cache.path}"
+        )
+    if save_dir:
+        manifest.write(save_dir)
     return 0
 
 

@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.config import DEFAULT, Scale
 from repro.core.attacker import LoopCountingAttacker, SweepCountingAttacker
 from repro.core.pipeline import FingerprintingPipeline, OpenWorldResult
 from repro.experiments.base import ExperimentResult, format_rows, register
@@ -113,10 +112,13 @@ class Table1Result(ExperimentResult):
         return sum(1 for row in self.rows if row.loop_wins_closed)
 
 
-@register("table1")
+@register(
+    "table1",
+    paper_ref="Table 1",
+    description="loop-counting vs cache-occupancy accuracy across browsers/OSes",
+)
 def run(
-    scale: Scale = DEFAULT,
-    seed: int = 0,
+    ctx,
     configs: Optional[Sequence[tuple[Browser, OperatingSystem]]] = None,
     open_world: bool = True,
 ) -> Table1Result:
@@ -124,11 +126,11 @@ def run(
     rows: list[Table1Row] = []
     for browser, os_spec in configs or TABLE1_CONFIGS:
         machine = MachineConfig(os=os_spec)
-        loop_pipe = FingerprintingPipeline(
-            machine, browser, attacker=LoopCountingAttacker(), scale=scale, seed=seed
+        loop_pipe = FingerprintingPipeline.from_spec(
+            machine, browser, attacker=LoopCountingAttacker(), ctx=ctx
         )
-        sweep_pipe = FingerprintingPipeline(
-            machine, browser, attacker=SweepCountingAttacker(), scale=scale, seed=seed
+        sweep_pipe = FingerprintingPipeline.from_spec(
+            machine, browser, attacker=SweepCountingAttacker(), ctx=ctx
         )
         loop_closed = loop_pipe.run_closed_world()
         sweep_closed = sweep_pipe.run_closed_world()

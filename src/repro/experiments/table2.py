@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.config import DEFAULT, Scale
 from repro.core.attacker import LoopCountingAttacker, SweepCountingAttacker
 from repro.core.pipeline import FingerprintingPipeline
 from repro.defenses.cache_noise import CacheSweepNoise
@@ -65,14 +64,18 @@ class Table2Result(ExperimentResult):
         )
 
 
-@register("table2")
-def run(scale: Scale = DEFAULT, seed: int = 0) -> Table2Result:
+@register(
+    "table2",
+    paper_ref="Table 2",
+    description="both attacks under cache-sweep vs spurious-interrupt noise",
+)
+def run(ctx) -> Table2Result:
     """Run both attacks under the three noise conditions."""
     machine = MachineConfig(os=LINUX)
     rows: list[Table2Row] = []
     for attacker in (LoopCountingAttacker(), SweepCountingAttacker()):
-        pipe = FingerprintingPipeline(
-            machine, CHROME, attacker=attacker, scale=scale, seed=seed
+        pipe = FingerprintingPipeline.from_spec(
+            machine, CHROME, attacker=attacker, ctx=ctx
         )
         horizon = pipe.collector.spec.horizon_ns
         results = {

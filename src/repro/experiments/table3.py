@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.config import DEFAULT, Scale
 from repro.core.attacker import LoopCountingAttacker
 from repro.core.pipeline import FingerprintingPipeline
 from repro.experiments.base import ExperimentResult, format_rows, register
@@ -49,8 +48,12 @@ class Table3Result(ExperimentResult):
         return [row.result.top1.mean for row in self.rows]
 
 
-@register("table3")
-def run(scale: Scale = DEFAULT, seed: int = 0) -> Table3Result:
+@register(
+    "table3",
+    paper_ref="Table 3",
+    description="native loop-counting attack under incremental isolation",
+)
+def run(ctx) -> Table3Result:
     """Evaluate the native attacker at every rung of the ladder.
 
     The victim still runs Chrome (it is the browser loading sites); the
@@ -59,13 +62,12 @@ def run(scale: Scale = DEFAULT, seed: int = 0) -> Table3Result:
     """
     rows: list[Table3Row] = []
     for step in isolation_ladder():
-        pipe = FingerprintingPipeline(
+        pipe = FingerprintingPipeline.from_spec(
             step.machine,
             CHROME,
             attacker=LoopCountingAttacker(),
-            scale=scale,
             timer=NATIVE_TIMER,
-            seed=seed,
+            ctx=ctx,
         )
         rows.append(Table3Row(mechanism=step.name, result=pipe.run_closed_world()))
     return Table3Result(rows=rows)

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.config import DEFAULT, Scale
 from repro.core.attacker import LoopCountingAttacker
 from repro.core.pipeline import FingerprintingPipeline
 from repro.defenses.timer_defense import quantized_defense, randomized_defense
@@ -55,37 +54,38 @@ class Table4Result(ExperimentResult):
         )
 
 
-def _evaluate(
-    timer: TimerSpec, period_ms: float, scale: Scale, seed: int
-) -> CrossValResult:
-    pipe = FingerprintingPipeline(
+def _evaluate(timer: TimerSpec, period_ms: float, ctx) -> CrossValResult:
+    pipe = FingerprintingPipeline.from_spec(
         MachineConfig(os=LINUX),
         CHROME,
         attacker=LoopCountingAttacker(),
-        scale=scale,
         timer=timer,
-        period_ms=period_ms,
-        seed=seed,
+        ctx=ctx,
+        scale=ctx.scale.with_(period_ms=period_ms),
     )
     return pipe.run_closed_world()
 
 
-@register("table4")
-def run(scale: Scale = DEFAULT, seed: int = 0) -> Table4Result:
+@register(
+    "table4",
+    paper_ref="Table 4",
+    description="timer defenses vs the loop-counting attack",
+)
+def run(ctx) -> Table4Result:
     """Evaluate each timer configuration of Table 4."""
     quantized = quantized_defense(resolution_ms=100.0)
     randomized = randomized_defense()
-    period = scale.period_ms
+    period = ctx.scale.period_ms
     rows = [
-        Table4Row("Jittered", 0.1, period, _evaluate(CHROME_TIMER, period, scale, seed)),
+        Table4Row("Jittered", 0.1, period, _evaluate(CHROME_TIMER, period, ctx)),
         Table4Row(
-            "Quantized", 100.0, period, _evaluate(quantized.spec, period, scale, seed)
+            "Quantized", 100.0, period, _evaluate(quantized.spec, period, ctx)
         ),
     ]
     for p_ms in (period, 100.0, 500.0):
         rows.append(
             Table4Row(
-                "Randomized", 1.0, p_ms, _evaluate(randomized.spec, p_ms, scale, seed)
+                "Randomized", 1.0, p_ms, _evaluate(randomized.spec, p_ms, ctx)
             )
         )
-    return Table4Result(rows=rows, base_rate=1.0 / scale.n_sites)
+    return Table4Result(rows=rows, base_rate=1.0 / ctx.scale.n_sites)

@@ -61,6 +61,23 @@ class CrossValResult:
         return MeanStd.of(self.fold_top5)
 
 
+def _fold_task(task: tuple) -> tuple[float, float]:
+    """Train/evaluate one fold; module-level so it pickles to workers.
+
+    Each fold's classifier is seeded by ``make_classifier(fold)`` from
+    the fold number alone, so fold results are independent of scheduling
+    order — parallel CV is bit-identical to serial CV.
+    """
+    make_classifier, fold, x, y, n_classes, train_idx, test_idx, top_k = task
+    classifier = make_classifier(fold)
+    classifier.fit(x[train_idx], y[train_idx], n_classes)
+    probs = classifier.predict_proba(x[test_idx])
+    predictions = probs.argmax(axis=1)
+    top1 = float((predictions == y[test_idx]).mean())
+    top5 = top_k_accuracy(probs, y[test_idx], min(top_k, n_classes))
+    return top1, top5
+
+
 def cross_validate(
     make_classifier: Callable[[int], Fingerprinter],
     x: np.ndarray,
@@ -69,18 +86,25 @@ def cross_validate(
     n_folds: int = 10,
     seed: int = 0,
     top_k: int = 5,
+    engine=None,
 ) -> CrossValResult:
-    """Run k-fold CV; ``make_classifier(fold)`` builds a fresh model."""
+    """Run k-fold CV; ``make_classifier(fold)`` builds a fresh model.
+
+    With an :class:`~repro.engine.engine.ExecutionEngine`, folds train
+    concurrently (``make_classifier`` must then be picklable — a
+    dataclass or module-level callable, not a lambda).
+    """
     x = np.asarray(x, dtype=np.float64)
     y = np.asarray(y, dtype=np.int64)
-    fold_top1: list[float] = []
-    fold_top5: list[float] = []
-    for fold, (train_idx, test_idx) in enumerate(stratified_kfold(y, n_folds, seed)):
-        classifier = make_classifier(fold)
-        classifier.fit(x[train_idx], y[train_idx], n_classes)
-        probs = classifier.predict_proba(x[test_idx])
-        predictions = probs.argmax(axis=1)
-        fold_top1.append(float((predictions == y[test_idx]).mean()))
-        k = min(top_k, n_classes)
-        fold_top5.append(top_k_accuracy(probs, y[test_idx], k))
-    return CrossValResult(fold_top1=fold_top1, fold_top5=fold_top5)
+    tasks = [
+        (make_classifier, fold, x, y, n_classes, train_idx, test_idx, top_k)
+        for fold, (train_idx, test_idx) in enumerate(stratified_kfold(y, n_folds, seed))
+    ]
+    if engine is not None:
+        outcomes = engine.map(_fold_task, tasks, stage="train")
+    else:
+        outcomes = [_fold_task(task) for task in tasks]
+    return CrossValResult(
+        fold_top1=[top1 for top1, _ in outcomes],
+        fold_top5=[top5 for _, top5 in outcomes],
+    )

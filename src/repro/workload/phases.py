@@ -136,6 +136,12 @@ class ActivityTimeline:
     def __iter__(self):
         return iter(self.bursts)
 
+    def cache_token(self) -> str:
+        """Canonical identity for the trace cache (burst-content hash)."""
+        from repro.engine.cache import stable_token
+
+        return stable_token({"bursts": self.bursts, "horizon_ns": self.horizon_ns})
+
     def of_kind(self, kind: BurstKind) -> list[ActivityBurst]:
         """Bursts of one kind, in time order."""
         return [b for b in self.bursts if b.kind is kind]

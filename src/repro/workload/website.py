@@ -95,6 +95,24 @@ class WebsiteProfile:
     def __repr__(self) -> str:
         return f"WebsiteProfile({self.name!r}, bursts={len(self.templates)})"
 
+    def cache_token(self) -> str:
+        """Canonical identity for the trace cache.
+
+        The full signature (templates + style) is tokenized, not just the
+        name, so hand-editing a marquee profile invalidates its cached
+        traces.
+        """
+        from repro.engine.cache import stable_token
+
+        return stable_token(
+            {
+                "name": self.name,
+                "seed": self.seed,
+                "templates": self.templates,
+                "style": self.style,
+            }
+        )
+
     def generate_load(
         self,
         rng: np.random.Generator,

@@ -76,3 +76,49 @@ class TestLstmBackendPipeline:
         assert len(result.fold_top1) == scale.n_folds
         assert 0.0 <= result.top1.mean <= 1.0
         assert result.top5.mean == 1.0  # top-5 of 3 classes is trivially 1
+
+
+class TestPipelineApi:
+    """Keyword-only construction, from_spec, and the period_ms deprecation."""
+
+    def test_positional_config_rejected(self, tiny_scale_module):
+        with pytest.raises(TypeError):
+            FingerprintingPipeline(
+                MachineConfig(os=LINUX), CHROME, None, tiny_scale_module
+            )
+
+    def test_period_ms_deprecated_but_mapped(self, tiny_scale_module):
+        with pytest.warns(DeprecationWarning, match="period_ms"):
+            pipe = FingerprintingPipeline(
+                MachineConfig(os=LINUX), CHROME,
+                scale=tiny_scale_module, period_ms=20.0, seed=3,
+            )
+        assert pipe.scale.period_ms == 20.0
+        assert pipe.collector.period_ns == 20_000_000
+
+    def test_from_spec_inherits_context(self, tiny_scale_module):
+        from repro.engine import ExecutionEngine, RunContext
+
+        ctx = RunContext(
+            scale=tiny_scale_module, seed=9, engine=ExecutionEngine(jobs=1)
+        )
+        pipe = FingerprintingPipeline.from_spec(MachineConfig(os=LINUX), CHROME, ctx=ctx)
+        assert pipe.scale is tiny_scale_module
+        assert pipe.seed == 9
+        assert pipe.engine is ctx.engine
+        assert pipe.collector.engine is ctx.engine
+
+    def test_from_spec_overrides_win(self, tiny_scale_module):
+        from repro.engine import RunContext
+
+        ctx = RunContext(scale=tiny_scale_module, seed=9)
+        pipe = FingerprintingPipeline.from_spec(
+            MachineConfig(os=LINUX), CHROME, ctx=ctx, seed=4
+        )
+        assert pipe.seed == 4
+
+    def test_from_spec_without_context(self, tiny_scale_module):
+        pipe = FingerprintingPipeline.from_spec(
+            MachineConfig(os=LINUX), CHROME, scale=tiny_scale_module
+        )
+        assert pipe.scale is tiny_scale_module

@@ -1,0 +1,237 @@
+"""Tests for the content-addressed trace cache and its key construction."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+import numpy as np
+import pytest
+
+from repro.core.collector import TraceCollector
+from repro.engine import ExecutionEngine, TraceCache, Uncacheable, cache_key, stable_token
+from repro.engine.cache import CACHE_DIR_ENV_VAR, default_cache_dir
+from repro.sim.machine import MachineConfig
+from repro.workload.browser import CHROME, FIREFOX, LINUX
+from repro.workload.website import profile_for
+
+
+@dataclasses.dataclass
+class _Point:
+    x: int
+    y: float
+
+
+class _Color(enum.Enum):
+    RED = 1
+    BLUE = 2
+
+
+class TestStableToken:
+    def test_primitives_distinct(self):
+        # 1, 1.0 and True collide under hash(); the token keeps them apart.
+        assert len({stable_token(v) for v in (1, 1.0, True, "1", None)}) == 5
+
+    def test_ndarray_content_addressed(self):
+        a = stable_token(np.arange(5))
+        b = stable_token(np.arange(5))
+        c = stable_token(np.arange(6))
+        assert a == b != c
+
+    def test_dataclass_fields(self):
+        assert stable_token(_Point(1, 2.0)) == stable_token(_Point(1, 2.0))
+        assert stable_token(_Point(1, 2.0)) != stable_token(_Point(2, 2.0))
+
+    def test_enum_and_containers(self):
+        assert "RED" in stable_token(_Color.RED)
+        assert stable_token({"b": 2, "a": 1}) == stable_token({"a": 1, "b": 2})
+        assert stable_token([1, 2]) != stable_token([2, 1])
+
+    def test_opt_in_via_cache_token(self):
+        class Weird:
+            def cache_token(self) -> str:
+                return "w1"
+
+        assert "w1" in stable_token(Weird())
+
+    def test_unknown_object_raises(self):
+        with pytest.raises(Uncacheable):
+            stable_token(object())
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        components = {"seed": 1, "site": "nytimes"}
+        assert cache_key(components) == cache_key(dict(components))
+
+    def test_any_component_changes_key(self):
+        base = {"seed": 1, "period_ns": 5_000_000, "trace_index": 0}
+        reference = cache_key(base)
+        for field_name, changed in (
+            ("seed", 2),
+            ("period_ns", 10_000_000),
+            ("trace_index", 1),
+        ):
+            assert cache_key({**base, field_name: changed}) != reference
+
+
+@pytest.fixture
+def cache(tmp_path) -> TraceCache:
+    return TraceCache(tmp_path / "cache")
+
+
+@pytest.fixture
+def collector(cache) -> TraceCollector:
+    return TraceCollector(
+        MachineConfig(os=LINUX), CHROME,
+        period_ns=10_000_000, seed=5, cache=cache,
+    )
+
+
+class TestTraceCacheRoundTrip:
+    def test_get_missing_is_miss(self, cache):
+        assert cache.get("0" * 64) is None
+        assert cache.stats.misses == 1
+
+    def test_put_then_get(self, cache, collector):
+        site = profile_for("nytimes.com")
+        trace = collector._collect_uncached(site, 0, None)
+        key = collector._cache_key(site, 0, None)
+        cache.put(key, trace)
+        loaded = cache.get(key)
+        np.testing.assert_array_equal(loaded.counters, trace.counters)
+        np.testing.assert_array_equal(loaded.observed_starts, trace.observed_starts)
+        assert loaded.label == trace.label
+        assert loaded.attacker == trace.attacker
+        assert loaded.spec == trace.spec
+        assert cache.stats.hits == 1 and cache.stats.puts == 1
+
+    def test_second_dataset_collection_skips_simulation(self, cache, monkeypatch):
+        sites = [profile_for("nytimes.com"), profile_for("amazon.com")]
+
+        def collect():
+            return TraceCollector(
+                MachineConfig(os=LINUX), CHROME,
+                period_ns=10_000_000, seed=5, cache=cache,
+            ).collect_dataset(sites, traces_per_site=2)
+
+        x_cold, y_cold = collect()
+        assert cache.stats.puts == 4
+
+        calls = {"n": 0}
+        original = TraceCollector._simulate
+
+        def counting(self, *args, **kwargs):
+            calls["n"] += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(TraceCollector, "_simulate", counting)
+        x_warm, y_warm = collect()
+        assert calls["n"] == 0, "warm run must not simulate anything"
+        np.testing.assert_array_equal(x_cold, x_warm)
+        assert y_cold == y_warm
+
+    def test_label_override_applied_after_cache(self, cache):
+        site = profile_for("nytimes.com")
+
+        def collect():
+            return TraceCollector(
+                MachineConfig(os=LINUX), CHROME,
+                period_ns=10_000_000, seed=5, cache=cache,
+            ).collect_dataset([site], traces_per_site=2, labels=["other"])
+
+        _, y_cold = collect()
+        _, y_warm = collect()
+        assert y_cold == y_warm == ["other", "other"]
+
+
+class TestCacheInvalidation:
+    @pytest.mark.parametrize(
+        "variant",
+        ["seed", "period", "browser", "attacker", "site", "trace_index"],
+    )
+    def test_key_component_changes_invalidate(self, variant, cache):
+        from repro.core.attacker import SweepCountingAttacker
+
+        base = dict(
+            machine=MachineConfig(os=LINUX), browser=CHROME,
+            period_ns=10_000_000, seed=5, cache=cache,
+        )
+        reference = TraceCollector(**base)
+        site, index = profile_for("nytimes.com"), 0
+        key = reference._cache_key(site, index, None)
+        if variant == "seed":
+            other = TraceCollector(**{**base, "seed": 6})
+        elif variant == "period":
+            other = TraceCollector(**{**base, "period_ns": 5_000_000})
+        elif variant == "browser":
+            other = TraceCollector(**{**base, "browser": FIREFOX})
+        elif variant == "attacker":
+            other = TraceCollector(**base, attacker=SweepCountingAttacker())
+        else:
+            other = reference
+        if variant == "site":
+            changed = other._cache_key(profile_for("amazon.com"), index, None)
+        elif variant == "trace_index":
+            changed = other._cache_key(site, 1, None)
+        else:
+            changed = other._cache_key(site, index, None)
+        assert changed != key
+
+    def test_uncacheable_noise_bypasses(self, collector):
+        from repro.core.collector import NoiseHooks
+
+        class Opaque:
+            def inject(self, machine, horizon_ns, rng):
+                return []
+
+        noise = NoiseHooks(interrupt_injector=Opaque())
+        assert collector._cache_key(profile_for("nytimes.com"), 0, noise) is None
+        # Collection still works, just without caching.
+        trace = collector.collect_trace(profile_for("nytimes.com"), 0, noise)
+        assert len(trace.counters) > 0
+        assert collector.cache.stats.puts == 0
+
+
+class TestCacheMaintenance:
+    def test_eviction_respects_cap(self, tmp_path, collector):
+        site = profile_for("nytimes.com")
+        trace = collector._collect_uncached(site, 0, None)
+        small = TraceCache(tmp_path / "small", max_bytes=1)  # everything evicts
+        small.put("a" * 64, trace)
+        assert small.stats.evictions >= 1
+        assert small.info()["entries"] == 0
+
+    def test_info_and_clear(self, cache, collector):
+        site = profile_for("nytimes.com")
+        trace = collector._collect_uncached(site, 0, None)
+        cache.put("b" * 64, trace)
+        info = cache.info()
+        assert info["entries"] == 1 and info["size_bytes"] > 0
+        assert cache.clear() == 1
+        assert cache.info()["entries"] == 0
+
+    def test_default_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+
+
+class TestEngineCacheIntegration:
+    def test_parallel_run_populates_and_reuses_cache(self, tmp_path):
+        cache = TraceCache(tmp_path / "cache")
+        site = profile_for("weather.com")
+
+        def collect():
+            collector = TraceCollector(
+                MachineConfig(os=LINUX), CHROME,
+                period_ns=10_000_000, seed=9,
+                engine=ExecutionEngine(jobs=2, cache=cache),
+            )
+            return collector.collect_traces(site, 3)
+
+        cold = collect()
+        assert cache.stats.puts == 3 and cache.stats.hits == 0
+        warm = collect()
+        assert cache.stats.hits == 3
+        for a, b in zip(cold, warm):
+            np.testing.assert_array_equal(a.counters, b.counters)

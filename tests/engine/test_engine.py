@@ -1,0 +1,120 @@
+"""Tests for the execution engine: scheduling, knobs, timings, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.attacker import LoopCountingAttacker
+from repro.core.pipeline import FingerprintingPipeline
+from repro.engine import ExecutionEngine, RunContext, resolve_jobs
+from repro.engine.engine import JOBS_ENV_VAR
+from repro.sim.machine import MachineConfig
+from repro.workload.browser import CHROME, LINUX
+from tests.conftest import TINY
+
+
+def _square(x: int) -> int:
+    """Module-level so it pickles into worker processes."""
+    return x * x
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs() == 1
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "8")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "5")
+        assert resolve_jobs() == 5
+
+    def test_env_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "many")
+        with pytest.raises(ValueError):
+            resolve_jobs()
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+
+class TestMap:
+    def test_inline_preserves_order(self):
+        engine = ExecutionEngine(jobs=1)
+        assert engine.map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(23))
+        serial = ExecutionEngine(jobs=1).map(_square, items)
+        parallel = ExecutionEngine(jobs=2).map(_square, items)
+        assert serial == parallel
+
+    def test_empty_input(self):
+        assert ExecutionEngine(jobs=2).map(_square, []) == []
+
+    def test_stage_timings_accumulate(self):
+        engine = ExecutionEngine(jobs=1)
+        engine.map(_square, [1, 2, 3], stage="demo")
+        engine.map(_square, [4], stage="demo")
+        snapshot = engine.timings_snapshot()
+        assert snapshot["demo"]["tasks"] == 4
+        assert snapshot["demo"]["seconds"] >= 0.0
+        engine.reset_timings()
+        assert engine.timings_snapshot() == {}
+
+
+class TestRunContext:
+    def test_default_engine_attached(self):
+        ctx = RunContext(scale=TINY, seed=7)
+        assert ctx.engine is not None
+        assert ctx.engine.jobs == 1
+        assert ctx.cache is None
+
+    def test_with_replaces_fields(self):
+        ctx = RunContext(scale=TINY, seed=7)
+        bumped = ctx.with_(seed=8)
+        assert bumped.seed == 8
+        assert bumped.scale is ctx.scale
+
+
+class TestParallelDeterminism:
+    """Same seed -> bit-identical results, regardless of worker count."""
+
+    def _evaluate(self, jobs: int):
+        pipeline = FingerprintingPipeline(
+            MachineConfig(os=LINUX),
+            CHROME,
+            attacker=LoopCountingAttacker(),
+            scale=TINY,
+            seed=11,
+            engine=ExecutionEngine(jobs=jobs),
+        )
+        return pipeline.run_closed_world()
+
+    def test_closed_world_bit_identical(self):
+        serial = self._evaluate(jobs=1)
+        parallel = self._evaluate(jobs=2)
+        assert serial.fold_top1 == parallel.fold_top1
+        assert serial.fold_top5 == parallel.fold_top5
+
+    def test_collect_traces_bit_identical(self):
+        from repro.core.collector import TraceCollector
+        from repro.workload.website import profile_for
+
+        site = profile_for("nytimes.com")
+
+        def collect(jobs):
+            collector = TraceCollector(
+                MachineConfig(os=LINUX), CHROME,
+                period_ns=10_000_000, seed=3,
+                engine=ExecutionEngine(jobs=jobs),
+            )
+            return collector.collect_traces(site, 4)
+
+        for a, b in zip(collect(1), collect(2)):
+            np.testing.assert_array_equal(a.counters, b.counters)
+            np.testing.assert_array_equal(a.observed_starts, b.observed_starts)

@@ -2,14 +2,21 @@
 
 import pytest
 
+from repro.engine import RunContext
 from repro.experiments import runner  # populates the registry
 from repro.experiments.base import (
+    ExperimentHandle,
+    ExperimentSpec,
+    all_specs,
     format_rows,
     get_experiment,
+    get_spec,
     list_experiments,
     register,
     sparkline,
+    suggest_experiment,
 )
+from tests.conftest import TINY
 
 
 class TestRegistry:
@@ -26,7 +33,54 @@ class TestRegistry:
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError):
-            register("fig3")(lambda: None)
+            register("fig3")(lambda ctx: None)
+
+    def test_specs_have_paper_refs(self):
+        spec = get_spec("table1")
+        assert spec == ExperimentSpec(
+            id="table1", paper_ref=spec.paper_ref, description=spec.description
+        )
+        assert spec.paper_ref.startswith("Table 1")
+        assert all(s.description for s in all_specs())
+
+    def test_suggestions_rank_near_misses(self):
+        assert suggest_experiment("tabel1")[0] == "table1"
+        assert suggest_experiment("zzzzzz") == []
+
+
+class TestExperimentHandle:
+    """The shim keeps the legacy run(scale, seed=...) convention alive."""
+
+    def test_handles_are_registered(self):
+        assert isinstance(get_experiment("fig7"), ExperimentHandle)
+
+    def test_legacy_positional_scale(self):
+        result = get_experiment("fig7")(TINY, seed=2)
+        assert "Figure 7" in result.format_table()
+
+    def test_legacy_keyword_scale(self):
+        result = get_experiment("fig7")(scale=TINY, seed=2)
+        assert "Figure 7" in result.format_table()
+
+    def test_context_call(self):
+        ctx = RunContext(scale=TINY, seed=2)
+        assert "Figure 7" in get_experiment("fig7")(ctx).format_table()
+
+    def test_context_and_scale_conflict(self):
+        ctx = RunContext(scale=TINY, seed=2)
+        with pytest.raises(TypeError):
+            get_experiment("fig7")(ctx, TINY)
+
+    def test_extras_forwarded(self):
+        result = get_experiment("fig7")(TINY, seed=2, window_ms=50.0)
+        assert result.window_ms == 50.0
+
+    def test_legacy_and_context_calls_agree(self):
+        legacy = get_experiment("fig8")(TINY, seed=3, n_periods=50)
+        modern = get_experiment("fig8")(
+            RunContext(scale=TINY, seed=3), n_periods=50
+        )
+        assert legacy.format_table() == modern.format_table()
 
 
 class TestFormatting:
@@ -67,9 +121,28 @@ class TestRunnerCli:
         assert "Figure 7" in out
         assert "Randomized" in out
 
-    def test_unknown_experiment_raises(self):
-        with pytest.raises(KeyError):
-            runner.main(["fig99", "--scale", "smoke"])
+    def test_unknown_experiment_exits_2_with_suggestion(self, capsys):
+        assert runner.main(["fig99", "--scale", "smoke"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment 'fig99'" in err
+        assert "did you mean" in err and "fig8" in err
+
+    def test_jobs_flag_validated(self, capsys):
+        assert runner.main(["fig7", "--scale", "smoke", "--jobs", "0"]) == 2
+        assert "jobs must be >= 1" in capsys.readouterr().err
+
+    def test_cache_info_subcommand(self, tmp_path, capsys):
+        assert runner.main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out and "entries" in out
+
+    def test_cache_clear_subcommand(self, tmp_path, capsys):
+        assert runner.main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "cleared 0" in capsys.readouterr().out
+
+    def test_cache_unknown_verb_exits_2(self, capsys):
+        assert runner.main(["cache", "shrink"]) == 2
+        assert "usage" in capsys.readouterr().err
 
 
 class TestSaveDir:
@@ -80,6 +153,35 @@ class TestSaveDir:
         assert (tmp_path / "fig7.txt").exists()
         svg = (tmp_path / "fig7.svg").read_text()
         assert svg.startswith("<svg")
+
+    def test_manifest_written(self, tmp_path, capsys):
+        import json
+
+        save = tmp_path / "out"
+        assert runner.main(
+            [
+                "fig7", "--scale", "smoke", "--seed", "6",
+                "--save-dir", str(save),
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        ) == 0
+        manifest = json.loads((save / "run_manifest.json").read_text())
+        assert manifest["scale"] == "smoke"
+        assert manifest["seed"] == 6
+        assert manifest["jobs"] == 1
+        assert "fig7" in manifest["experiments"]
+        assert manifest["experiments"]["fig7"]["elapsed_s"] >= 0
+        assert manifest["cache"]["hits"] == 0
+
+    def test_no_cache_flag_omits_cache_block(self, tmp_path, capsys):
+        import json
+
+        save = tmp_path / "out"
+        assert runner.main(
+            ["fig7", "--scale", "smoke", "--no-cache", "--save-dir", str(save)]
+        ) == 0
+        manifest = json.loads((save / "run_manifest.json").read_text())
+        assert manifest["cache"] is None
 
     def test_table_without_renderer_writes_text_only(self, tmp_path, capsys):
         # fig8 has a renderer; use a quick text-only experiment via fig8's

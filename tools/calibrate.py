@@ -22,8 +22,9 @@ seed = int(sys.argv[1]) if len(sys.argv) > 1 else 1
 machine = MachineConfig(os=LINUX)
 
 def cv(attacker=None, timer=None, period=None, noise=None, mc=machine, browser=CHROME):
-    pipe = FingerprintingPipeline(mc, browser, attacker=attacker, scale=MID,
-                                  timer=timer, period_ms=period, seed=seed)
+    scale = MID.with_(period_ms=period) if period is not None else MID
+    pipe = FingerprintingPipeline(mc, browser, attacker=attacker, scale=scale,
+                                  timer=timer, seed=seed)
     t0 = time.time()
     r = pipe.run_closed_world(noise=noise)
     return r.top1.mean * 100, time.time() - t0
