@@ -1,16 +1,18 @@
-"""Benchmark: parallel engine and trace cache vs the serial baseline.
+"""Benchmark: parallel engine, trace cache and profiling overhead.
 
-Records three wall-clock measurements for ``table2`` at ``SMOKE`` scale
-into ``benchmarks/results/engine.txt``:
+Records wall-clock measurements for ``table2`` at ``SMOKE`` scale into
+``benchmarks/results/engine.txt``:
 
 * cold serial (``jobs=1``, empty cache),
 * cold parallel (``jobs=4``, cache disabled),
-* warm serial (``jobs=1``, cache populated by the cold run).
+* warm serial (``jobs=1``, cache populated by the cold run),
+* observability on vs off (``--profile`` equivalent, best-of-2 each).
 
-Determinism is asserted unconditionally — all three produce the same
-rendered table.  The warm-cache run must beat the cold run by >= 3x (it
-skips simulation entirely).  The parallel run's speedup is recorded but
-not asserted: CI boxes may expose a single core, where process fan-out
+Determinism is asserted unconditionally — every variant produces the
+same rendered table, profiled or not.  The warm-cache run must beat the
+cold run by >= 3x (it skips simulation entirely) and profiling overhead
+must stay under 5 %.  The parallel run's speedup is recorded but not
+asserted: CI boxes may expose a single core, where process fan-out
 cannot win.
 """
 
@@ -20,12 +22,16 @@ import time
 
 import pytest
 
+from repro import obs
 from repro.config import SMOKE
 from repro.engine import ExecutionEngine, RunContext, TraceCache
 from repro.experiments import table2  # noqa: F401  (registers table2)
 from repro.experiments.base import get_experiment
 
 pytestmark = pytest.mark.slow
+
+#: Maximum tolerated slowdown from enabling the obs subsystem.
+OBS_OVERHEAD_CAP = 0.05
 
 
 def _run(jobs: int, cache: TraceCache | None) -> tuple[float, str]:
@@ -60,3 +66,43 @@ def test_engine_speedup(results_dir, tmp_path_factory):
     (results_dir / "engine.txt").write_text("\n".join(lines) + "\n")
 
     assert warm_speedup >= 3.0, f"warm cache only {warm_speedup:.2f}x faster"
+
+
+def test_obs_overhead(results_dir, tmp_path_factory):
+    """Profiling must cost < 5 % and change nothing in the output.
+
+    Plain and profiled runs are interleaved and each side takes its best
+    of three, so transient machine load inflates neither side's floor.
+    """
+    plain_times: list[float] = []
+    profiled_times: list[float] = []
+    plain_table = profiled_table = None
+
+    for attempt in range(3):
+        elapsed, plain_table = _run(jobs=1, cache=None)
+        plain_times.append(elapsed)
+
+        obs.enable(tmp_path_factory.mktemp(f"obs-bench-{attempt}"))
+        try:
+            elapsed, profiled_table = _run(jobs=1, cache=None)
+        finally:
+            obs.disable()
+        profiled_times.append(elapsed)
+
+    assert profiled_table == plain_table, "profiled run must be bit-identical"
+
+    plain_s, profiled_s = min(plain_times), min(profiled_times)
+    overhead = profiled_s / plain_s - 1.0
+    lines = [
+        "",
+        "obs overhead (table2 @ smoke, jobs=1, no cache, best of 3):",
+        f"profiling off:           {plain_s:8.2f}s",
+        f"profiling on:            {profiled_s:8.2f}s  ({overhead:+.1%})",
+        "profiled == plain: yes",
+    ]
+    with (results_dir / "engine.txt").open("a") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+    assert overhead < OBS_OVERHEAD_CAP, (
+        f"obs overhead {overhead:.1%} exceeds {OBS_OVERHEAD_CAP:.0%} cap"
+    )

@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.attacker import Attacker, LoopCountingAttacker
 from repro.core.trace import Trace, TraceSpec, stack_dataset
 from repro.sim.interrupts import InterruptBatch
@@ -208,9 +209,13 @@ class TraceCollector:
         rng = np.random.default_rng(
             (self.seed * 1_000_003 + site.seed * 7_919 + trace_index) & 0x7FFFFFFF
         )
-        run = self._simulate(site, rng, noise)
-        timer = self.timer_spec.build(seed=int(rng.integers(0, 2**31)))
-        return self._walk_periods(run, timer, rng, label=site.name)
+        with obs.span("collect.trace", site=site.name, index=int(trace_index)):
+            run = self._simulate(site, rng, noise)
+            timer = self.timer_spec.build(seed=int(rng.integers(0, 2**31)))
+            trace = self._walk_periods(run, timer, rng, label=site.name)
+        obs.counter("collect.traces").inc()
+        obs.counter("collect.periods").inc(len(trace.counters))
+        return trace
 
     # ------------------------------------------------------------------
 

@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.config import DEFAULT, Scale
 from repro.core.attacker import Attacker, LoopCountingAttacker
 from repro.core.collector import NoiseHooks, TraceCollector
@@ -151,9 +152,14 @@ class FingerprintingPipeline:
         self, noise: Optional[NoiseHooks] = None
     ) -> tuple[np.ndarray, list[str]]:
         """Closed-world dataset ``(X, labels)``."""
-        return self.collector.collect_dataset(
-            self.sites(), self.scale.traces_per_site, noise=noise
-        )
+        with obs.span(
+            "pipeline.collect",
+            sites=self.scale.n_sites,
+            traces_per_site=self.scale.traces_per_site,
+        ):
+            return self.collector.collect_dataset(
+                self.sites(), self.scale.traces_per_site, noise=noise
+            )
 
     def run_closed_world(self, noise: Optional[NoiseHooks] = None) -> CrossValResult:
         """Collect and cross-validate the closed-world experiment."""
@@ -164,20 +170,30 @@ class FingerprintingPipeline:
         """Cross-validate this pipeline's classifier on a dataset."""
         encoder = LabelEncoder()
         y = encoder.fit_transform(list(labels))
-        return cross_validate(
-            _BackendFactory(self.scale.backend, self.seed),
-            x,
-            y,
-            n_classes=encoder.n_classes,
-            n_folds=self.scale.n_folds,
-            seed=self.seed,
-            engine=self.engine,
-        )
+        with obs.span(
+            "pipeline.evaluate",
+            backend=self.scale.backend,
+            folds=self.scale.n_folds,
+            samples=len(x),
+        ):
+            return cross_validate(
+                _BackendFactory(self.scale.backend, self.seed),
+                x,
+                y,
+                n_classes=encoder.n_classes,
+                n_folds=self.scale.n_folds,
+                seed=self.seed,
+                engine=self.engine,
+            )
 
     # ------------------------------------------------------------------
 
     def run_open_world(self, noise: Optional[NoiseHooks] = None) -> OpenWorldResult:
         """The paper's open-world experiment (§4.1, Table 1 right half)."""
+        with obs.span("pipeline.open_world", sites=self.scale.open_world_sites):
+            return self._run_open_world(noise)
+
+    def _run_open_world(self, noise: Optional[NoiseHooks]) -> OpenWorldResult:
         x_sensitive, labels = self.collect_closed_world(noise=noise)
         open_sites = open_world(self.scale.open_world_sites)
         x_open, open_labels = self.collector.collect_dataset(

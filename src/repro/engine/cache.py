@@ -33,6 +33,8 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+
 #: Environment variable overriding the cache directory.
 CACHE_DIR_ENV_VAR = "BIGGERFISH_CACHE_DIR"
 #: Environment variable overriding the size cap (bytes).
@@ -207,9 +209,12 @@ class TraceCache:
             # Missing, torn or stale-format entries all count as misses;
             # the caller re-simulates and overwrites.
             self.stats.misses += 1
+            obs_metrics.counter("engine.cache.misses").inc()
             return None
         self.stats.hits += 1
         self.stats.bytes_read += entry.stat().st_size
+        obs_metrics.counter("engine.cache.hits").inc()
+        obs_metrics.counter("engine.cache.bytes_read").inc(entry.stat().st_size)
         return trace
 
     def put(self, key: str, trace) -> None:
@@ -238,6 +243,8 @@ class TraceCache:
         written = entry.stat().st_size
         self.stats.puts += 1
         self.stats.bytes_written += written
+        obs_metrics.counter("engine.cache.puts").inc()
+        obs_metrics.counter("engine.cache.bytes_written").inc(written)
         self._size_bytes = self._scan_size() + written
         if self._size_bytes > self.max_bytes:
             self._evict_to_cap()
@@ -254,6 +261,7 @@ class TraceCache:
                 entry.unlink()
                 size -= entry_size
                 self.stats.evictions += 1
+                obs_metrics.counter("engine.cache.evictions").inc()
         self._size_bytes = size
 
     # -- maintenance ----------------------------------------------------

@@ -19,13 +19,41 @@ from __future__ import annotations
 
 import os
 import time
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, TypeVar
+
+from repro import obs
 
 #: Environment variable overriding the default worker count.
 JOBS_ENV_VAR = "BIGGERFISH_JOBS"
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class _TimedTask:
+    """Wraps a task function so workers report their own elapsed time.
+
+    ``engine.map`` used to time only the ``map()`` call, which hides the
+    per-task distribution — the slowest worker was invisible.  The
+    wrapper times each task where it runs and returns ``(result,
+    elapsed_s)``; the parent unpacks results and folds the timings into
+    the stage statistics.  It also flushes the worker's pending metric
+    deltas after every task, which is what gets worker-side observability
+    data onto disk even though pool teardown skips ``atexit``.
+    """
+
+    fn: Callable
+    stage: Optional[str]
+
+    def __call__(self, item):
+        started = time.perf_counter()
+        with obs.span("engine.task", stage=self.stage or ""):
+            result = self.fn(item)
+        elapsed = time.perf_counter() - started
+        obs.flush_metrics()
+        return result, elapsed
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -66,6 +94,8 @@ class ExecutionEngine:
         self.stage_seconds: Dict[str, float] = {}
         #: Stage name -> cumulative task count.
         self.stage_tasks: Dict[str, int] = {}
+        #: Stage name -> per-task elapsed statistics (min/sum/max/count).
+        self.stage_task_stats: Dict[str, Dict[str, float]] = {}
 
     def __repr__(self) -> str:
         cache = "on" if self.cache is not None else "off"
@@ -86,16 +116,28 @@ class ExecutionEngine:
         the items must be picklable for the parallel path.
         """
         items = list(items)
+        task = _TimedTask(fn, stage)
         started = time.perf_counter()
         try:
-            if self.jobs == 1 or len(items) <= 1:
-                results = [fn(item) for item in items]
-            else:
-                results = self._map_parallel(fn, items)
-        finally:
+            with obs.span(
+                "engine.map", stage=stage or "", tasks=len(items), jobs=self.jobs
+            ):
+                if self.jobs == 1 or len(items) <= 1:
+                    outcomes = [task(item) for item in items]
+                else:
+                    outcomes = self._map_parallel(task, items)
+        except BaseException:
             if stage is not None:
                 self.record(stage, time.perf_counter() - started, len(items))
-        return results
+            raise
+        if stage is not None:
+            self.record(
+                stage,
+                time.perf_counter() - started,
+                len(items),
+                task_seconds=[elapsed for _, elapsed in outcomes],
+            )
+        return [result for result, _ in outcomes]
 
     def _map_parallel(self, fn: Callable[[T], R], items: list[T]) -> list[R]:
         from concurrent.futures import ProcessPoolExecutor
@@ -107,21 +149,49 @@ class ExecutionEngine:
 
     # ------------------------------------------------------------------
 
-    def record(self, stage: str, seconds: float, tasks: int = 0) -> None:
-        """Accumulate wall-clock time (and task count) under a stage name."""
+    def record(
+        self,
+        stage: str,
+        seconds: float,
+        tasks: int = 0,
+        task_seconds: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Accumulate wall-clock time (and task count) under a stage name.
+
+        ``task_seconds``, when given, folds per-task elapsed times into
+        the stage's min/mean/max spread so the slowest worker is visible
+        in the manifest.
+        """
         self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
         self.stage_tasks[stage] = self.stage_tasks.get(stage, 0) + tasks
+        if task_seconds:
+            stats = self.stage_task_stats.setdefault(
+                stage, {"min": float("inf"), "max": 0.0, "sum": 0.0, "count": 0}
+            )
+            stats["min"] = min(stats["min"], min(task_seconds))
+            stats["max"] = max(stats["max"], max(task_seconds))
+            stats["sum"] += sum(task_seconds)
+            stats["count"] += len(task_seconds)
 
     def timings_snapshot(self) -> Dict[str, Dict[str, float]]:
         """Copy of the accumulated stage timings (for manifests)."""
-        return {
-            stage: {
+        snapshot = {}
+        for stage in sorted(self.stage_seconds):
+            entry = {
                 "seconds": round(self.stage_seconds[stage], 6),
                 "tasks": self.stage_tasks.get(stage, 0),
             }
-            for stage in sorted(self.stage_seconds)
-        }
+            stats = self.stage_task_stats.get(stage)
+            if stats and stats["count"]:
+                entry["task_seconds"] = {
+                    "min": round(stats["min"], 6),
+                    "mean": round(stats["sum"] / stats["count"], 6),
+                    "max": round(stats["max"], 6),
+                }
+            snapshot[stage] = entry
+        return snapshot
 
     def reset_timings(self) -> None:
         self.stage_seconds.clear()
         self.stage_tasks.clear()
+        self.stage_task_stats.clear()

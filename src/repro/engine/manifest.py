@@ -3,16 +3,27 @@
 Each ``biggerfish`` invocation with ``--save-dir`` writes a
 ``run_manifest.json`` next to the rendered tables recording what was run
 and how long every stage took: per-experiment wall clock, per-stage
-engine timings (collect / train / open-world), cache hit/miss/byte
-counters, worker count, seed and scale.  Two consecutive manifests are
-how the cold-vs-warm cache speedup is measured and reported.
+engine timings (collect / train / open-world) with per-task min/mean/max
+spreads, cache hit/miss/byte counters, worker count, seed and scale,
+plus the observability summary (``"profile"``) when the run was
+profiled.  Two consecutive manifests are how the cold-vs-warm cache
+speedup is measured and reported.
+
+A run that dies mid-experiment still leaves a manifest: the runner marks
+it ``"status": "failed"`` with the exception summary and writes whatever
+was recorded up to the crash, so failed runs are diagnosable from their
+save directory alone.  Writes are atomic (temp file + rename) so a
+killed run never leaves a torn manifest either.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import tempfile
 import time
+import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
@@ -34,6 +45,11 @@ class RunManifest:
     experiments: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     cache: Optional[Dict[str, Any]] = None
     package_version: str = ""
+    #: "ok" | "failed"; failed manifests carry an ``error`` summary.
+    status: str = "ok"
+    error: Optional[Dict[str, str]] = None
+    #: Observability summary from :func:`repro.obs.export.summarize`.
+    profile: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if not self.package_version:
@@ -61,10 +77,23 @@ class RunManifest:
                 **engine.cache.stats.as_dict(),
             }
 
+    def mark_failed(self, experiment_id: str, error: BaseException) -> None:
+        """Record a mid-run crash so the partial manifest is diagnosable."""
+        self.status = "failed"
+        frame = traceback.extract_tb(error.__traceback__)
+        location = f"{frame[-1].filename}:{frame[-1].lineno}" if frame else ""
+        self.error = {
+            "experiment": experiment_id,
+            "type": type(error).__name__,
+            "message": str(error),
+            "where": location,
+        }
+
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "schema": 1,
             "created_unix": round(self.created_unix, 3),
+            "status": self.status,
             "scale": self.scale,
             "scale_params": self.scale_params,
             "seed": self.seed,
@@ -76,9 +105,32 @@ class RunManifest:
             "experiments": self.experiments,
             "cache": self.cache,
         }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.profile is not None:
+            out["profile"] = self.profile
+        return out
 
     def write(self, directory: pathlib.Path) -> pathlib.Path:
-        """Serialize to ``<directory>/run_manifest.json``; returns the path."""
+        """Serialize to ``<directory>/run_manifest.json`` atomically.
+
+        The JSON body is rendered and written to a temp file first, then
+        renamed over the target — a crash mid-serialization leaves any
+        previous manifest intact and no partial file behind.
+        """
         path = pathlib.Path(directory) / MANIFEST_FILENAME
-        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=False) + "\n")
+        body = json.dumps(self.as_dict(), indent=2, sort_keys=False) + "\n"
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".tmp-manifest-", suffix=".json", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(body)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         return path

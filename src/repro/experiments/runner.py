@@ -5,9 +5,11 @@ Usage::
     biggerfish --list
     biggerfish fig3 table2 --scale smoke --seed 1
     biggerfish table1 --scale smoke --jobs 4 --save-dir out/
+    biggerfish table1 --scale smoke --profile --save-dir out/
     biggerfish all --scale default
     biggerfish cache info
     biggerfish cache clear
+    biggerfish report out/
 
 Each experiment prints the paper table/figure it regenerates.  The CLI
 caches collected traces on disk by default (``--no-cache`` disables,
@@ -16,19 +18,32 @@ out over worker processes (``--jobs`` / ``BIGGERFISH_JOBS``); parallel
 runs produce bit-identical results to serial ones.  With ``--save-dir``
 a ``run_manifest.json`` records per-stage timings and cache statistics
 next to the rendered tables.
+
+``--profile`` (or ``BIGGERFISH_PROFILE=1``) turns on the
+:mod:`repro.obs` observability subsystem: spans and metrics from every
+process are merged into ``profile.jsonl``, rendered as an SVG timeline,
+and summarized into the manifest; ``biggerfish report <run-dir>`` prints
+the per-stage time/memory/cache breakdown afterwards.  Profiling never
+changes results — a profiled run's tables are bit-identical.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
+import tempfile
 import time
+
+from repro import obs
 
 # Importing the experiment modules populates the registry.
 from repro.config import SCALES
 from repro.engine import ExecutionEngine, RunContext, RunManifest, TraceCache
 from repro.engine.cache import default_cache_dir
+from repro.obs import export as obs_export
+from repro.obs import report as obs_report
 from repro.experiments import (  # noqa: F401  (registration side effects)
     ablation_timer,
     background_noise,
@@ -50,6 +65,9 @@ from repro.experiments.base import (
 )
 from repro.viz.figures import render
 
+#: Environment variable equivalent of ``--profile``.
+PROFILE_ENV_VAR = "BIGGERFISH_PROFILE"
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -63,8 +81,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments",
         nargs="*",
         help=(
-            "experiment ids (e.g. table1 fig5), 'all', or the 'cache' "
-            "subcommand ('cache info' / 'cache clear')"
+            "experiment ids (e.g. table1 fig5), 'all', or a subcommand: "
+            "'cache info' / 'cache clear' / 'report <run-dir>'"
         ),
     )
     parser.add_argument("--scale", choices=sorted(SCALES), default="default")
@@ -93,6 +111,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="write rendered tables (.txt), figures (.svg) and a "
         "run_manifest.json here",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="record tracing spans and metrics (or BIGGERFISH_PROFILE=1); "
+        "writes profile.jsonl and an SVG timeline into --save-dir",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=obs_report.DEFAULT_TOP_N,
+        help="slowest spans to show in 'report' output and the manifest",
+    )
     return parser
 
 
@@ -116,6 +146,22 @@ def _cache_command(args: argparse.Namespace) -> int:
     print(f"total bytes: {info['size_bytes']}")
     print(f"size cap:    {info['max_bytes']}")
     return 0
+
+
+def _report_command(args: argparse.Namespace) -> int:
+    """Handle ``biggerfish report <run-dir>``."""
+    targets = args.experiments[1:]
+    if len(targets) != 1:
+        print("usage: biggerfish report <run-dir> [--top N]", file=sys.stderr)
+        return 2
+    code, text = obs_report.report_command(targets[0], top_n=args.top)
+    print(text, file=sys.stderr if code else sys.stdout)
+    return code
+
+
+def _profile_requested(args: argparse.Namespace) -> bool:
+    env = os.environ.get(PROFILE_ENV_VAR, "").strip().lower()
+    return args.profile or env in ("1", "true", "yes", "on")
 
 
 def _resolve_ids(requested: list[str]) -> list[str] | None:
@@ -144,6 +190,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiments and args.experiments[0] == "cache":
         return _cache_command(args)
+    if args.experiments and args.experiments[0] == "report":
+        return _report_command(args)
     if args.list or not args.experiments:
         print("available experiments:", ", ".join(list_experiments()))
         return 0
@@ -163,39 +211,80 @@ def main(argv: list[str] | None = None) -> int:
     save_dir = pathlib.Path(args.save_dir) if args.save_dir else None
     if save_dir:
         save_dir.mkdir(parents=True, exist_ok=True)
+    spool_dir = None
+    if _profile_requested(args):
+        spool_dir = (
+            save_dir / ".obs-spool"
+            if save_dir
+            else pathlib.Path(tempfile.mkdtemp(prefix="biggerfish-obs-"))
+        )
+        obs.enable(spool_dir)
     manifest = RunManifest(
         scale=scale.name,
         seed=args.seed,
         jobs=engine.jobs,
         scale_params=scale.as_dict(),
     )
-    for experiment_id in wanted:
-        run = get_experiment(experiment_id)
-        engine.reset_timings()
-        started = time.time()
-        result = run(ctx)
-        elapsed = time.time() - started
-        manifest.add_experiment(experiment_id, elapsed, engine.timings_snapshot())
-        print(f"=== {experiment_id} (scale={scale.name}, {elapsed:.1f}s) ===")
-        print(result.format_table())
-        print()
-        if save_dir:
-            (save_dir / f"{experiment_id}.txt").write_text(
-                result.format_table() + "\n"
+    exit_code = 0
+    try:
+        for experiment_id in wanted:
+            run = get_experiment(experiment_id)
+            engine.reset_timings()
+            started = time.time()
+            try:
+                with obs.span("experiment." + experiment_id, scale=scale.name):
+                    result = run(ctx)
+            except Exception as error:
+                # A crashed run still leaves a diagnosable partial
+                # manifest (status="failed") and its profile artifacts.
+                elapsed = time.time() - started
+                manifest.add_experiment(
+                    experiment_id, elapsed, engine.timings_snapshot()
+                )
+                manifest.mark_failed(experiment_id, error)
+                print(
+                    f"biggerfish: {experiment_id} failed after {elapsed:.1f}s: "
+                    f"{type(error).__name__}: {error}",
+                    file=sys.stderr,
+                )
+                exit_code = 1
+                break
+            elapsed = time.time() - started
+            manifest.add_experiment(experiment_id, elapsed, engine.timings_snapshot())
+            print(f"=== {experiment_id} (scale={scale.name}, {elapsed:.1f}s) ===")
+            print(result.format_table())
+            print()
+            if save_dir:
+                (save_dir / f"{experiment_id}.txt").write_text(
+                    result.format_table() + "\n"
+                )
+                svg = render(experiment_id, result)
+                if svg is not None:
+                    (save_dir / f"{experiment_id}.svg").write_text(svg)
+    finally:
+        manifest.finalize(engine)
+        if spool_dir is not None:
+            obs.flush_metrics()
+            profile, summary = obs_export.export_run(
+                spool_dir, save_dir, top_n=args.top
             )
-            svg = render(experiment_id, result)
-            if svg is not None:
-                (save_dir / f"{experiment_id}.svg").write_text(svg)
-    manifest.finalize(engine)
-    if cache is not None:
-        stats = cache.stats
-        print(
-            f"[cache] {stats.hits} hit(s), {stats.misses} miss(es), "
-            f"{stats.puts} put(s) in {cache.path}"
-        )
-    if save_dir:
-        manifest.write(save_dir)
-    return 0
+            manifest.profile = summary
+            obs.disable()
+            if save_dir is None:
+                print(
+                    obs_report.format_report(
+                        pathlib.Path("."), profile, manifest.as_dict(), top_n=args.top
+                    )
+                )
+        if cache is not None:
+            stats = cache.stats
+            print(
+                f"[cache] {stats.hits} hit(s), {stats.misses} miss(es), "
+                f"{stats.puts} put(s) in {cache.path}"
+            )
+        if save_dir:
+            manifest.write(save_dir)
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -9,11 +9,13 @@ restoring the best snapshot.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.ml.network import Sequential
 from repro.ml.optim import Adam, Optimizer
 
@@ -26,6 +28,10 @@ class TrainingHistory:
     val_accuracies: list[float] = field(default_factory=list)
     best_epoch: int = -1
     stopped_early: bool = False
+    #: Wall-clock seconds per completed epoch.
+    epoch_seconds: list[float] = field(default_factory=list)
+    #: Why training ended: "early_stop", "max_epochs" or "no_validation".
+    stop_reason: str = ""
 
 
 @dataclass
@@ -60,31 +66,58 @@ class Trainer:
         best_accuracy = -1.0
         best_snapshot = None
         epochs_without_improvement = 0
-        for epoch in range(self.epochs):
-            order = rng.permutation(len(x_train))
-            epoch_losses = []
-            for start in range(0, len(x_train), self.batch_size):
-                batch = order[start : start + self.batch_size]
-                loss = network.train_batch(x_train[batch], y_train[batch], optimizer)
-                epoch_losses.append(loss)
-            history.losses.append(float(np.mean(epoch_losses)))
-            if x_val is None or y_val is None:
-                continue
-            accuracy = evaluate_accuracy(network, x_val, y_val)
-            history.val_accuracies.append(accuracy)
-            if accuracy > best_accuracy:
-                best_accuracy = accuracy
-                best_snapshot = network.snapshot()
-                history.best_epoch = epoch
-                epochs_without_improvement = 0
+        has_validation = x_val is not None and y_val is not None
+        span = obs.span("ml.train", epochs=self.epochs, samples=len(x_train))
+        with span:
+            for epoch in range(self.epochs):
+                epoch_started = time.perf_counter()
+                order = rng.permutation(len(x_train))
+                epoch_losses = []
+                for start in range(0, len(x_train), self.batch_size):
+                    batch = order[start : start + self.batch_size]
+                    loss = network.train_batch(
+                        x_train[batch], y_train[batch], optimizer
+                    )
+                    epoch_losses.append(loss)
+                history.losses.append(float(np.mean(epoch_losses)))
+                if not has_validation:
+                    self._finish_epoch(history, epoch_started)
+                    continue
+                accuracy = evaluate_accuracy(network, x_val, y_val)
+                history.val_accuracies.append(accuracy)
+                if accuracy > best_accuracy:
+                    best_accuracy = accuracy
+                    best_snapshot = network.snapshot()
+                    history.best_epoch = epoch
+                    epochs_without_improvement = 0
+                else:
+                    epochs_without_improvement += 1
+                    if epochs_without_improvement >= self.patience:
+                        history.stopped_early = True
+                        self._finish_epoch(history, epoch_started)
+                        break
+                self._finish_epoch(history, epoch_started)
+            if history.stopped_early:
+                history.stop_reason = "early_stop"
+            elif has_validation:
+                history.stop_reason = "max_epochs"
             else:
-                epochs_without_improvement += 1
-                if epochs_without_improvement >= self.patience:
-                    history.stopped_early = True
-                    break
+                history.stop_reason = "no_validation"
+            span.set(
+                epochs_run=len(history.losses),
+                stop_reason=history.stop_reason,
+                best_epoch=history.best_epoch,
+            )
         if best_snapshot is not None:
             network.restore(best_snapshot)
         return history
+
+    @staticmethod
+    def _finish_epoch(history: TrainingHistory, epoch_started: float) -> None:
+        elapsed = time.perf_counter() - epoch_started
+        history.epoch_seconds.append(elapsed)
+        obs.histogram("ml.epoch_seconds").observe(elapsed)
+        obs.counter("ml.epochs").inc()
 
 
 def evaluate_accuracy(network: Sequential, x: np.ndarray, y: np.ndarray) -> float:

@@ -1,0 +1,253 @@
+"""Profile exporters: spool merging, JSONL log, SVG timeline, summary.
+
+A profiled run leaves a spool directory of per-process files —
+``spans-<pid>.jsonl`` (one event per completed span) and
+``metrics-<pid>.jsonl`` (delta flushes).  This module merges them into a
+:class:`Profile`, which then renders three ways:
+
+* ``profile.jsonl`` — the merged event log (spans in start order, one
+  trailing aggregated-metrics line), the durable artifact next to
+  ``run_manifest.json``;
+* an SVG timeline — one lane block per process, spans drawn as
+  depth-stacked rectangles via the existing :mod:`repro.viz.svg`
+  primitives (a flame view of where the run's wall clock went);
+* a summary dict — per-span-name and per-stage totals, peak RSS and the
+  merged metrics — folded into the run manifest under ``"profile"``.
+
+Everything here is timestamp-deterministic: the same run produces the
+same events modulo clock readings, and merging sorts on recorded fields
+only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import merge_deltas
+
+#: Merged event-log file name written inside ``--save-dir``.
+PROFILE_FILENAME = "profile.jsonl"
+#: SVG timeline file name written inside ``--save-dir``.
+TIMELINE_FILENAME = "profile_timeline.svg"
+
+
+@dataclass
+class Profile:
+    """Merged view of one run's spans and metrics."""
+
+    spans: List[dict] = field(default_factory=list)
+    metrics: Dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def pids(self) -> List[int]:
+        """Participating process ids, parent first (earliest span wins)."""
+        seen: Dict[int, float] = {}
+        for event in self.spans:
+            pid = event["pid"]
+            if pid not in seen or event["t_start"] < seen[pid]:
+                seen[pid] = event["t_start"]
+        return [pid for pid, _ in sorted(seen.items(), key=lambda kv: kv[1])]
+
+    def t_origin(self) -> float:
+        """Wall-clock origin: the earliest span start."""
+        return min((e["t_start"] for e in self.spans), default=0.0)
+
+
+def merge_spool(spool_dir: os.PathLike) -> Profile:
+    """Merge every per-process spool file into one :class:`Profile`."""
+    spool = pathlib.Path(spool_dir)
+    spans: List[dict] = []
+    metric_events: List[dict] = []
+    for path in sorted(spool.glob("spans-*.jsonl")):
+        spans.extend(_read_jsonl(path))
+    for path in sorted(spool.glob("metrics-*.jsonl")):
+        metric_events.extend(_read_jsonl(path))
+    spans.sort(key=lambda e: (e["t_start"], e["pid"], e["span_id"]))
+    return Profile(spans=spans, metrics=merge_deltas(metric_events))
+
+
+def _read_jsonl(path: pathlib.Path) -> List[dict]:
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+# ----------------------------------------------------------------------
+# profile.jsonl
+
+
+def write_profile(profile: Profile, path: os.PathLike) -> pathlib.Path:
+    """Write the merged event log: spans, then one metrics line."""
+    path = pathlib.Path(path)
+    with open(path, "w") as handle:
+        for event in profile.spans:
+            handle.write(json.dumps(event) + "\n")
+        handle.write(
+            json.dumps({"type": "metrics", "merged": True, **profile.metrics}) + "\n"
+        )
+    return path
+
+
+def read_profile(path: os.PathLike) -> Profile:
+    """Load a ``profile.jsonl`` written by :func:`write_profile`."""
+    spans: List[dict] = []
+    metrics: Dict[str, dict] = {}
+    for event in _read_jsonl(pathlib.Path(path)):
+        if event.get("type") == "span":
+            spans.append(event)
+        elif event.get("type") == "metrics":
+            for key in ("counters", "gauges", "histograms"):
+                if key in event:
+                    metrics.setdefault(key, {}).update(event[key])
+    return Profile(spans=spans, metrics=metrics)
+
+
+# ----------------------------------------------------------------------
+# summary (run_manifest.json's "profile" block)
+
+
+def summarize(profile: Profile, top_n: int = 5) -> dict:
+    """Condense a profile into the manifest's ``"profile"`` block.
+
+    ``spans`` aggregates by span name (count / wall / CPU / max peak
+    RSS); ``stages`` aggregates ``engine.map`` spans by their stage
+    attribute; ``top_spans`` lists the slowest individual spans.
+    """
+    by_name: Dict[str, dict] = {}
+    stages: Dict[str, dict] = {}
+    peak_rss = 0
+    for event in profile.spans:
+        entry = by_name.setdefault(
+            event["name"],
+            {"count": 0, "wall_s": 0.0, "cpu_s": 0.0, "max_rss_kb": 0},
+        )
+        entry["count"] += 1
+        entry["wall_s"] = round(entry["wall_s"] + event["wall_s"], 6)
+        entry["cpu_s"] = round(entry["cpu_s"] + event["cpu_s"], 6)
+        entry["max_rss_kb"] = max(entry["max_rss_kb"], event["rss_peak_kb"])
+        peak_rss = max(peak_rss, event["rss_peak_kb"])
+        if event["name"] == "engine.map":
+            stage = (event.get("attrs") or {}).get("stage") or "unstaged"
+            st = stages.setdefault(stage, {"wall_s": 0.0, "maps": 0, "tasks": 0})
+            st["wall_s"] = round(st["wall_s"] + event["wall_s"], 6)
+            st["maps"] += 1
+            st["tasks"] += (event.get("attrs") or {}).get("tasks", 0)
+    slowest = sorted(profile.spans, key=lambda e: -e["wall_s"])[:top_n]
+    return {
+        "processes": len(profile.pids),
+        "events": len(profile.spans),
+        "peak_rss_kb": peak_rss,
+        "spans": dict(sorted(by_name.items())),
+        "stages": dict(sorted(stages.items())),
+        "top_spans": [
+            {
+                "name": e["name"],
+                "wall_s": e["wall_s"],
+                "pid": e["pid"],
+                "attrs": e.get("attrs", {}),
+            }
+            for e in slowest
+        ],
+        "metrics": profile.metrics,
+    }
+
+
+# ----------------------------------------------------------------------
+# SVG timeline
+
+
+def render_timeline(profile: Profile, title: str = "run timeline") -> Optional[str]:
+    """Flame-style timeline SVG, one lane block per process.
+
+    Spans become rectangles — x spans the wall-clock interval, y encodes
+    (process, nesting depth) — drawn with the same
+    :class:`repro.viz.svg.Plot` primitives the paper figures use.
+    Returns None for an empty profile.
+    """
+    from repro.viz.svg import Axis, Plot
+
+    if not profile.spans:
+        return None
+    origin = profile.t_origin()
+    duration = max(
+        (e["t_start"] - origin + e["wall_s"] for e in profile.spans), default=1.0
+    )
+    duration = max(duration, 1e-6)
+    pids = profile.pids
+    depth_of = {
+        pid: max(e["depth"] for e in profile.spans if e["pid"] == pid) for pid in pids
+    }
+    # Lane layout: each process gets (max depth + 1) rows plus a divider.
+    base: Dict[int, int] = {}
+    rows = 0
+    for pid in pids:
+        base[pid] = rows
+        rows += depth_of[pid] + 2
+    rows = max(rows - 1, 1)
+    height = max(140, 40 + 16 * rows)
+    plot = Plot(
+        x=Axis(0.0, duration, "seconds since run start"),
+        y=Axis(0.0, float(rows)),
+        width=900,
+        height=height,
+        title=title,
+    )
+    colors = _color_legend(profile)
+    for event in profile.spans:
+        x0 = event["t_start"] - origin
+        x1 = x0 + max(event["wall_s"], duration / 2000.0)  # keep slivers visible
+        row = base[event["pid"]] + event["depth"]
+        y0 = rows - row - 0.9
+        plot.area(
+            [x0, x1],
+            [y0, y0],
+            [y0 + 0.8, y0 + 0.8],
+            color=colors[event["name"]],
+            opacity=0.85,
+        )
+    for name, color in sorted(colors.items()):
+        plot.line([0.0, 1e-9 * duration], [0.0, 0.0], color=color, label=name)
+    for pid in pids:
+        row = base[pid]
+        plot.text(duration * 0.002, rows - row - 0.05, f"pid {pid}", size=9)
+    return plot.render()
+
+
+def _color_legend(profile: Profile) -> Dict[str, str]:
+    """Stable span-name -> palette color assignment (order of first use)."""
+    from repro.viz.svg import PALETTE
+
+    colors: Dict[str, str] = {}
+    for event in profile.spans:
+        name = event["name"]
+        if name not in colors:
+            colors[name] = PALETTE[len(colors) % len(PALETTE)]
+    return colors
+
+
+def export_run(
+    spool_dir: os.PathLike, save_dir: Optional[os.PathLike], top_n: int = 5
+) -> tuple[Profile, dict]:
+    """Merge a spool and (optionally) write the run's profile artifacts.
+
+    Returns ``(profile, summary)``; with a ``save_dir`` it also writes
+    ``profile.jsonl`` and ``profile_timeline.svg`` there.
+    """
+    profile = merge_spool(spool_dir)
+    summary = summarize(profile, top_n=top_n)
+    if save_dir is not None:
+        save_dir = pathlib.Path(save_dir)
+        save_dir.mkdir(parents=True, exist_ok=True)
+        write_profile(profile, save_dir / PROFILE_FILENAME)
+        svg = render_timeline(profile)
+        if svg is not None:
+            (save_dir / TIMELINE_FILENAME).write_text(svg)
+    return profile, summary

@@ -27,6 +27,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.sim.events import MS, SEC
 from repro.sim.frequency import FrequencyConfig, FrequencyTrace, TurboGovernor
 from repro.sim.interrupts import (
@@ -209,28 +210,36 @@ class InterruptSynthesizer:
         """
         style = style or SiteStyle()
         rng = rng if rng is not None else np.random.default_rng()
-        per_core: list[list[InterruptBatch]] = [[] for _ in range(self.config.n_cores)]
+        span = obs.span("sim.synthesize", horizon_ns=int(timeline.horizon_ns))
+        with span:
+            per_core: list[list[InterruptBatch]] = [
+                [] for _ in range(self.config.n_cores)
+            ]
 
-        tick_period_ns = SEC / self.config.os.tick_hz
-        tick_phases = rng.uniform(0, tick_period_ns, self.config.n_cores)
-        self._add_timer_ticks(per_core, timeline, rng, tick_phases)
-        self._add_burst_interrupts(per_core, timeline, style, rng, tick_phases)
-        self._add_tick_work(per_core, timeline, rng, tick_phases)
-        self._add_background(per_core, timeline.horizon_ns, rng)
-        if self.config.turbo_boost_artifacts:
-            self._add_turbo_artifacts(per_core, timeline, rng)
-        if not self.config.pin_cores:
-            batch = contention_batch(
-                timeline, self.config.scheduler, self.config.os.contention_scale, rng
-            )
-            per_core[self.config.attacker_core].append(batch)
-        for core, batch in extra_batches or ():
-            per_core[core].append(batch)
+            tick_period_ns = SEC / self.config.os.tick_hz
+            tick_phases = rng.uniform(0, tick_period_ns, self.config.n_cores)
+            self._add_timer_ticks(per_core, timeline, rng, tick_phases)
+            self._add_burst_interrupts(per_core, timeline, style, rng, tick_phases)
+            self._add_tick_work(per_core, timeline, rng, tick_phases)
+            self._add_background(per_core, timeline.horizon_ns, rng)
+            if self.config.turbo_boost_artifacts:
+                self._add_turbo_artifacts(per_core, timeline, rng)
+            if not self.config.pin_cores:
+                batch = contention_batch(
+                    timeline, self.config.scheduler, self.config.os.contention_scale, rng
+                )
+                per_core[self.config.attacker_core].append(batch)
+            for core, batch in extra_batches or ():
+                per_core[core].append(batch)
 
-        cores = [self._build_core(batches) for batches in per_core]
-        frequency = self._governor.run(timeline.load_at, timeline.horizon_ns, rng)
-        occ_times, occ_nominal = timeline.occupancy_curve()
-        occ_victim, occ_ambient = self._distort_occupancy(occ_nominal, rng)
+            n_events = sum(len(b.times) for batches in per_core for b in batches)
+            obs.counter("sim.events_processed").inc(n_events)
+            span.set(events=n_events)
+
+            cores = [self._build_core(batches) for batches in per_core]
+            frequency = self._governor.run(timeline.load_at, timeline.horizon_ns, rng)
+            occ_times, occ_nominal = timeline.occupancy_curve()
+            occ_victim, occ_ambient = self._distort_occupancy(occ_nominal, rng)
         return MachineRun(
             cores=cores,
             frequency=frequency,

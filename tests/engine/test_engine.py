@@ -66,6 +66,31 @@ class TestMap:
         engine.reset_timings()
         assert engine.timings_snapshot() == {}
 
+    def test_per_task_spread_serial(self):
+        engine = ExecutionEngine(jobs=1)
+        engine.map(_square, [1, 2, 3, 4], stage="demo")
+        spread = engine.timings_snapshot()["demo"]["task_seconds"]
+        assert set(spread) == {"min", "mean", "max"}
+        assert 0.0 <= spread["min"] <= spread["mean"] <= spread["max"]
+
+    def test_per_task_spread_parallel(self):
+        engine = ExecutionEngine(jobs=2)
+        engine.map(_square, list(range(8)), stage="demo")
+        snapshot = engine.timings_snapshot()["demo"]
+        assert snapshot["tasks"] == 8
+        spread = snapshot["task_seconds"]
+        assert spread["min"] <= spread["mean"] <= spread["max"]
+
+    def test_per_task_spread_accumulates_across_maps(self):
+        engine = ExecutionEngine(jobs=1)
+        engine.map(_square, [1, 2], stage="demo")
+        engine.map(_square, [3], stage="demo")
+        snapshot = engine.timings_snapshot()["demo"]
+        assert snapshot["tasks"] == 3
+        assert snapshot["task_seconds"]["mean"] >= snapshot["task_seconds"]["min"]
+        engine.reset_timings()
+        assert engine.stage_task_stats == {}
+
 
 class TestRunContext:
     def test_default_engine_attached(self):

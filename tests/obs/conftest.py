@@ -1,0 +1,24 @@
+"""Observability test fixtures: every test gets a clean, isolated obs state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs(monkeypatch):
+    """Guarantee profiling is off (and env-clean) before and after each test."""
+    monkeypatch.delenv(obs.PROFILE_DIR_ENV_VAR, raising=False)
+    obs.disable()
+    yield
+    obs.disable()
+
+
+@pytest.fixture
+def spool(tmp_path):
+    """An enabled obs subsystem spooling into a temp directory."""
+    spool_dir = tmp_path / "spool"
+    obs.enable(spool_dir)
+    return spool_dir

@@ -1,0 +1,128 @@
+"""Metrics registry: instruments, histogram bucketing, delta flush, merging."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import (
+    NULL_INSTRUMENT,
+    MetricsRegistry,
+    active_registry,
+    merge_deltas,
+)
+
+
+class TestDisabled:
+    def test_accessors_return_shared_noop(self):
+        assert obs.counter("x") is NULL_INSTRUMENT
+        assert obs.gauge("y") is NULL_INSTRUMENT
+        assert obs.histogram("z") is NULL_INSTRUMENT
+        obs.counter("x").inc()
+        obs.gauge("y").set(3.0)
+        obs.histogram("z").observe(1.0)
+
+    def test_flush_is_noop(self):
+        assert obs.flush_metrics() is False
+
+
+class TestInstruments:
+    def test_counter_accumulates(self, spool):
+        obs.counter("engine.cache.hits").inc()
+        obs.counter("engine.cache.hits").inc(4)
+        snap = active_registry().snapshot()
+        assert snap["counters"]["engine.cache.hits"] == 5
+
+    def test_gauge_last_write_wins(self, spool):
+        obs.gauge("engine.jobs").set(2)
+        obs.gauge("engine.jobs").set(8)
+        assert active_registry().snapshot()["gauges"]["engine.jobs"] == 8.0
+
+    def test_same_name_same_instrument(self, spool):
+        assert obs.counter("a") is obs.counter("a")
+
+    def test_kind_conflict_rejected(self, spool):
+        obs.counter("dual")
+        with pytest.raises(TypeError):
+            obs.gauge("dual")
+
+    def test_histogram_bucketing(self, spool):
+        hist = obs.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.1, 0.5, 2.0, 100.0):
+            hist.observe(value)
+        snap = active_registry().snapshot()["histograms"]["lat"]
+        assert snap["buckets"] == [0.1, 1.0, 10.0]
+        # <=0.1 gets two (0.05 and the boundary 0.1), 0.5 -> <=1.0,
+        # 2.0 -> <=10.0, 100.0 -> overflow.
+        assert snap["counts"] == [2, 1, 1, 1]
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(102.65)
+
+    def test_histogram_rejects_unsorted_buckets(self, spool):
+        with pytest.raises(ValueError):
+            obs.histogram("bad", buckets=(1.0, 0.5))
+
+
+class TestDeltaFlush:
+    def test_flush_writes_only_changes(self, spool):
+        obs.counter("c").inc(3)
+        assert obs.flush_metrics() is True
+        assert obs.flush_metrics() is False  # nothing moved since
+        obs.counter("c").inc(2)
+        assert obs.flush_metrics() is True
+        lines = [
+            json.loads(line)
+            for path in spool.glob("metrics-*.jsonl")
+            for line in path.read_text().splitlines()
+        ]
+        assert [event["counters"]["c"] for event in lines] == [3, 2]
+
+    def test_histogram_deltas(self, spool):
+        hist = obs.histogram("h", buckets=(1.0,))
+        hist.observe(0.5)
+        obs.flush_metrics()
+        hist.observe(2.0)
+        obs.flush_metrics()
+        lines = [
+            json.loads(line)
+            for path in spool.glob("metrics-*.jsonl")
+            for line in path.read_text().splitlines()
+        ]
+        assert lines[0]["histograms"]["h"]["counts"] == [1, 0]
+        assert lines[1]["histograms"]["h"]["counts"] == [0, 1]
+
+    def test_merge_deltas_sums_processes(self):
+        events = [
+            {"pid": 1, "counters": {"hits": 2}, "histograms": {
+                "h": {"buckets": [1.0], "counts": [1, 0], "sum": 0.5, "count": 1}}},
+            {"pid": 2, "counters": {"hits": 3}, "gauges": {"jobs": 4.0}},
+            {"pid": 1, "histograms": {
+                "h": {"buckets": [1.0], "counts": [0, 2], "sum": 5.0, "count": 2}}},
+        ]
+        merged = merge_deltas(events)
+        assert merged["counters"] == {"hits": 5}
+        assert merged["gauges"] == {"jobs": 4.0}
+        assert merged["histograms"]["h"]["counts"] == [1, 2]
+        assert merged["histograms"]["h"]["count"] == 3
+        assert merged["histograms"]["h"]["sum"] == pytest.approx(5.5)
+
+
+class TestForkSafety:
+    def test_inherited_registry_resets_in_child(self, spool, monkeypatch):
+        obs.counter("parent.only").inc(10)
+        registry = active_registry()
+        # Simulate what a forked worker sees: same object, different pid.
+        monkeypatch.setattr(registry, "pid", registry.pid - 1)
+        child_registry = active_registry()
+        assert child_registry is not registry
+        assert child_registry.snapshot()["counters"] == {}
+        assert child_registry.spool_dir == registry.spool_dir
+
+
+class TestStandaloneRegistry:
+    def test_no_spool_no_flush(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        assert registry.flush() is False
