@@ -10,6 +10,7 @@ Usage::
     biggerfish cache info
     biggerfish cache clear
     biggerfish report out/
+    biggerfish lint src/ tests/ --format json
 
 Each experiment prints the paper table/figure it regenerates.  The CLI
 caches collected traces on disk by default (``--no-cache`` disables,
@@ -25,6 +26,11 @@ process are merged into ``profile.jsonl``, rendered as an SVG timeline,
 and summarized into the manifest; ``biggerfish report <run-dir>`` prints
 the per-stage time/memory/cache breakdown afterwards.  Profiling never
 changes results — a profiled run's tables are bit-identical.
+
+``biggerfish lint`` runs the :mod:`repro.lint` determinism linter
+(seeded-RNG plumbing, simulated-time-only simulation code, order-stable
+iteration); it has its own argument parser — see ``biggerfish lint
+--help``.
 """
 
 from __future__ import annotations
@@ -82,7 +88,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help=(
             "experiment ids (e.g. table1 fig5), 'all', or a subcommand: "
-            "'cache info' / 'cache clear' / 'report <run-dir>'"
+            "'cache info' / 'cache clear' / 'report <run-dir>' / "
+            "'lint [paths]'"
         ),
     )
     parser.add_argument("--scale", choices=sorted(SCALES), default="default")
@@ -187,6 +194,13 @@ def _resolve_ids(requested: list[str]) -> list[str] | None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "lint":
+        # The linter owns its argument grammar (--select, --baseline,
+        # ...), so dispatch before this module's parser sees the args.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiments and args.experiments[0] == "cache":
         return _cache_command(args)

@@ -1,0 +1,110 @@
+"""AST-based determinism and reproducibility linter.
+
+Every claim this reproduction makes rests on the guarantee that a
+simulated trace is a pure function of ``(spec, seed)``: the engine
+asserts parallel == serial bit-identity and the obs layer asserts
+profiling never perturbs results, but those properties depend on coding
+invariants — seeded RNG plumbing, simulated-time-only in the simulator,
+order-stable iteration — that nothing used to enforce.  This package
+turns them into machine-checked rules:
+
+* :mod:`repro.lint.walker` — file discovery, AST parsing, parent links
+  and module-name resolution;
+* :mod:`repro.lint.registry` — the rule registry and ``Finding`` type;
+* :mod:`repro.lint.rules` — one module per rule (``unseeded-rng``,
+  ``wall-clock-in-sim``, ``unsorted-dir-iteration``,
+  ``set-iteration-order``, ``mutable-default-arg``,
+  ``env-dependent-hash``);
+* :mod:`repro.lint.suppress` — inline ``# lint: disable=<rule>``
+  comments and the checked-in JSON baseline for grandfathered findings;
+* :mod:`repro.lint.reporters` — text and JSON output;
+* :mod:`repro.lint.cli` — the ``biggerfish lint`` subcommand
+  (also ``python -m repro.lint``).
+
+The linter's own logic is stdlib-``ast`` only — no new dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.lint import rules as _rules  # noqa: F401  (rule registration)
+from repro.lint.registry import Finding, Rule, all_rules, get_rule, rule_ids
+from repro.lint.suppress import Baseline, suppressed_rules
+from repro.lint.walker import SourceModule, discover, load_module
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintRun",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "rule_ids",
+]
+
+
+@dataclass
+class LintRun:
+    """Outcome of one linter invocation."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def _select_rules(
+    select: Optional[Sequence[str]], ignore: Optional[Sequence[str]]
+) -> list[Rule]:
+    known = set(rule_ids())
+    for requested in list(select or []) + list(ignore or []):
+        if requested not in known:
+            raise KeyError(requested)
+    chosen = all_rules()
+    if select:
+        chosen = [rule for rule in chosen if rule.id in set(select)]
+    if ignore:
+        chosen = [rule for rule in chosen if rule.id not in set(ignore)]
+    return chosen
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintRun:
+    """Lint ``paths`` (files or directories) and return a :class:`LintRun`.
+
+    Findings suppressed by an inline ``# lint: disable=<rule>`` comment
+    or recorded in ``baseline`` are split out of ``findings`` so callers
+    can still report them.  Raises :class:`KeyError` for an unknown rule
+    id in ``select``/``ignore``.
+    """
+    chosen = _select_rules(select, ignore)
+    run = LintRun()
+    for path in discover(paths):
+        module = load_module(path)
+        run.files_checked += 1
+        if module.parse_error is not None:
+            run.findings.append(module.parse_error)
+            continue
+        disabled = suppressed_rules(module.lines)
+        for rule in chosen:
+            for finding in rule.check(module):
+                line_disabled = disabled.get(finding.line, frozenset())
+                if rule.id in line_disabled or "all" in line_disabled:
+                    run.suppressed.append(finding)
+                elif baseline is not None and baseline.contains(finding):
+                    run.baselined.append(finding)
+                else:
+                    run.findings.append(finding)
+    run.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return run

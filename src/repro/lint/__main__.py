@@ -1,0 +1,10 @@
+"""``python -m repro.lint`` — direct entry point used by the CI job."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Shared AST helpers for lint rules.
+
+The central abstraction is :class:`ImportMap`: rules match *canonical*
+dotted names (``numpy.random.default_rng``, ``time.perf_counter``) and
+the map normalizes whatever spelling the file actually used —
+``import numpy as np``, ``from numpy import random as npr``,
+``from time import perf_counter`` — back to that canonical form.
+Resolution is purely syntactic (no imports are executed), which is all
+a determinism linter needs: a local variable shadowing ``time`` would
+fool it, and ``# lint: disable=`` exists for such corner cases.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class ImportMap:
+    """Alias table from a module's import statements."""
+
+    def __init__(self, tree: ast.Module):
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def canonical(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of an expression, or None.
+
+        ``np.random.default_rng`` (after ``import numpy as np``) becomes
+        ``numpy.random.default_rng``; a bare ``perf_counter`` (after
+        ``from time import perf_counter``) becomes ``time.perf_counter``.
+        ``numpy`` itself is further normalized so ``np`` spellings and
+        the real package name compare equal.
+        """
+        spelled = dotted_name(node)
+        if spelled is None:
+            return None
+        head, _, rest = spelled.partition(".")
+        target = self.aliases.get(head, head)
+        resolved = f"{target}.{rest}" if rest else target
+        # Normalize the numpy shorthand even without an import in scope
+        # (fixture files sometimes reference np without importing it).
+        if resolved == "np" or resolved.startswith("np."):
+            resolved = "numpy" + resolved[2:]
+        return resolved
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``parent`` links upward (requires walker.annotate_parents)."""
+    current = getattr(node, "parent", None)
+    while current is not None:
+        yield current
+        current = getattr(current, "parent", None)
+
+
+def enclosing_function(node: ast.AST) -> Optional[ast.AST]:
+    """Nearest enclosing (async) function definition, if any."""
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor
+    return None
+
+
+def wrapped_in_call_to(node: ast.AST, names: frozenset) -> bool:
+    """True when an enclosing expression is a call to one of ``names``.
+
+    Walks parents only within the current expression (stops at any
+    statement node), so ``sorted(list(p.glob(...)))`` counts as wrapped
+    while a ``sorted()`` call later in the function does not.
+    """
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, ast.stmt):
+            return False
+        if (
+            isinstance(ancestor, ast.Call)
+            and isinstance(ancestor.func, ast.Name)
+            and ancestor.func.id in names
+        ):
+            return True
+    return False
+
+
+def call_has_arguments(call: ast.Call) -> bool:
+    return bool(call.args or call.keywords)

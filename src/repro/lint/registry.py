@@ -1,0 +1,96 @@
+"""Rule registry and the ``Finding`` value type.
+
+A rule is a class with an ``id``, a one-line ``summary``, longer
+``docs`` (rationale plus a bad/good example, rendered by ``biggerfish
+lint --explain <rule>``) and a ``check(module)`` generator yielding
+:class:`Finding` objects.  Rules self-register with the
+:func:`register` decorator; importing :mod:`repro.lint.rules` pulls in
+every built-in rule module.
+
+Adding a rule is three steps: create ``repro/lint/rules/<name>.py``
+with a ``@register``-decorated subclass, import it from
+``repro/lint/rules/__init__.py``, and add a fixture pair under
+``tests/lint/fixtures/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, ClassVar, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.lint.walker import SourceModule
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def fingerprint(self) -> str:
+        """Stable identity used for baseline matching."""
+        return f"{self.rule}:{_posix(self.path)}:{self.line}"
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+def _posix(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+class Rule:
+    """Base class for lint rules; subclass and decorate with @register."""
+
+    id: ClassVar[str]
+    summary: ClassVar[str]
+    docs: ClassVar[str]
+
+    def check(self, module: "SourceModule") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: "SourceModule", node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=module.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    rule = cls()
+    if rule.id in _RULES:
+        raise ValueError(f"duplicate lint rule id {rule.id!r}")
+    _RULES[rule.id] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by id."""
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def rule_ids() -> list[str]:
+    return sorted(_RULES)
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule; raises :class:`KeyError` with the unknown id."""
+    return _RULES[rule_id]

@@ -1,0 +1,44 @@
+"""Text and JSON renderers for lint results."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import LintRun
+
+
+def render_text(run: LintRun, verbose_clean: bool = True) -> str:
+    """Human-readable report: one ``path:line:col: rule message`` per line."""
+    lines = [finding.render() for finding in run.findings]
+    tail = (
+        f"found {len(run.findings)} problem(s) in {run.files_checked} file(s)"
+        if run.findings
+        else (f"checked {run.files_checked} file(s): clean" if verbose_clean else "")
+    )
+    extras = []
+    if run.suppressed:
+        extras.append(f"{len(run.suppressed)} suppressed inline")
+    if run.baselined:
+        extras.append(f"{len(run.baselined)} grandfathered by baseline")
+    if extras and tail:
+        tail += f" ({', '.join(extras)})"
+    if tail:
+        lines.append(tail)
+    return "\n".join(lines)
+
+
+def render_json(run: LintRun) -> str:
+    """Machine-readable report; round-trips through ``json.loads``."""
+    payload = {
+        "version": 1,
+        "files_checked": run.files_checked,
+        "findings": [finding.as_dict() for finding in run.findings],
+        "suppressed": [finding.as_dict() for finding in run.suppressed],
+        "baselined": [finding.as_dict() for finding in run.baselined],
+        "counts": {
+            "findings": len(run.findings),
+            "suppressed": len(run.suppressed),
+            "baselined": len(run.baselined),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,31 @@
+"""Built-in lint rules — importing this package registers all of them."""
+
+from __future__ import annotations
+
+#: Packages whose results must be a pure function of (spec, seed).  Used
+#: by the order-sensitivity rules; the obs/viz/lint layers only render
+#: or measure and are deliberately out of scope.  (Defined before the
+#: rule imports below because rule modules import it.)
+DETERMINISTIC_PACKAGES = (
+    "repro.cache",
+    "repro.core",
+    "repro.defenses",
+    "repro.engine",
+    "repro.experiments",
+    "repro.isolation",
+    "repro.ml",
+    "repro.sim",
+    "repro.stats",
+    "repro.timers",
+    "repro.tracing",
+    "repro.workload",
+)
+
+from repro.lint.rules import (  # noqa: E402, F401  (registration side effects)
+    env_hash,
+    mutable_default,
+    set_iteration,
+    unseeded_rng,
+    unsorted_dir,
+    wall_clock,
+)

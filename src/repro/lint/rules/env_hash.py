@@ -1,0 +1,105 @@
+"""env-dependent-hash: builtin hash() must not feed control flow or keys.
+
+Since PEP 456, ``hash()`` of ``str`` / ``bytes`` is salted with a
+per-process seed (``PYTHONHASHSEED``), so ``hash("nytimes.com") % n``
+lands in a different bucket in every worker process.  Sharding, cache
+keying and any branch on a hash value must use a *stable* digest
+(``hashlib``, or the repo's content-addressed ``cache_key``) instead.
+
+Bad::
+
+    shard = hash(site.name) % n_shards
+    if hash(label) & 1:
+        ...
+
+Good::
+
+    digest = hashlib.sha256(site.name.encode()).digest()
+    shard = int.from_bytes(digest[:8], "big") % n_shards
+
+The check is best-effort and syntactic: it fires when a ``hash(...)``
+call feeds arithmetic, a comparison, a subscript, a dict key, a
+branch condition or a sort key, and when the argument is a visible
+``str`` / ``bytes`` value.  ``__hash__`` implementations are exempt
+(delegating to ``hash()`` there is the protocol).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.astutil import ancestors, enclosing_function
+from repro.lint.registry import Finding, Rule, register
+from repro.lint.walker import SourceModule
+
+_STRINGY = (ast.JoinedStr,)
+
+
+def _is_str_or_bytes_arg(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (str, bytes))
+    if isinstance(node, _STRINGY):
+        return True
+    if isinstance(node, ast.BinOp):  # "a" + suffix, prefix % args, ...
+        return _is_str_or_bytes_arg(node.left) or _is_str_or_bytes_arg(node.right)
+    if isinstance(node, ast.Call):  # str(x), x.encode(), f"{x}".join(...)
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("bytes", "repr", "str"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in ("encode", "format", "join"):
+            return True
+    return False
+
+
+def _sink(node: ast.AST) -> Optional[str]:
+    """Describe the order/control-sensitive sink ``node`` flows into."""
+    child = node
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, (ast.BinOp, ast.UnaryOp, ast.AugAssign)):
+            return "arithmetic"
+        if isinstance(ancestor, ast.Compare):
+            return "a comparison"
+        if isinstance(ancestor, ast.Subscript) and ancestor.slice is child:
+            return "a subscript"
+        if isinstance(ancestor, ast.Dict) and child in ancestor.keys:
+            return "a dict key"
+        if isinstance(ancestor, (ast.If, ast.IfExp, ast.While)) and ancestor.test is child:
+            return "a branch condition"
+        if isinstance(ancestor, ast.keyword) and ancestor.arg == "key":
+            return "a sort key"
+        if isinstance(ancestor, ast.stmt):
+            return None
+        child = ancestor
+    return None
+
+
+@register
+class EnvHashRule(Rule):
+    id = "env-dependent-hash"
+    summary = "PYTHONHASHSEED-salted hash() feeding control flow or keys"
+    docs = __doc__
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+                and node.args
+            ):
+                continue
+            function = enclosing_function(node)
+            if function is not None and function.name == "__hash__":
+                continue
+            sink = _sink(node)
+            stringy = _is_str_or_bytes_arg(node.args[0])
+            if sink is None and not stringy:
+                continue
+            reason = f"flows into {sink}" if sink else "is applied to str/bytes"
+            yield self.finding(
+                module,
+                node,
+                f"hash() is salted per process by PYTHONHASHSEED and {reason}; "
+                "use a stable digest (hashlib) instead",
+            )

@@ -1,0 +1,75 @@
+"""mutable-default-arg: default values must not be mutable objects.
+
+A mutable default is evaluated once at ``def`` time and shared by every
+call, so state leaks between calls — and, in this codebase, between
+*experiments*: a list default that accumulates batches would make the
+second run of a spec differ from the first with the same seed.
+
+Bad::
+
+    def schedule(batches=[]):
+        batches.append(...)
+
+Good::
+
+    def schedule(batches=None):
+        batches = [] if batches is None else batches
+
+(For dataclasses use ``field(default_factory=list)``, which the rule
+does not flag — the factory runs per instance.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import dotted_name
+from repro.lint.registry import Finding, Rule, register
+from repro.lint.walker import SourceModule
+
+#: Constructor calls whose results are shared-mutable as defaults.
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {
+        "bytearray",
+        "collections.OrderedDict",
+        "collections.defaultdict",
+        "collections.deque",
+        "dict",
+        "list",
+        "set",
+    }
+)
+
+_MUTABLE_LITERALS = (ast.Dict, ast.DictComp, ast.List, ast.ListComp, ast.Set, ast.SetComp)
+
+
+def _is_mutable(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func) in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "mutable-default-arg"
+    summary = "mutable object used as a function argument default"
+    docs = __doc__
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable(default):
+                    yield self.finding(
+                        module,
+                        default,
+                        "mutable default is evaluated once and shared by every "
+                        "call; default to None and build the object inside",
+                    )

@@ -1,0 +1,99 @@
+"""set-iteration-order: sets must not feed order-sensitive sinks.
+
+Set iteration order depends on insertion history and on the per-process
+string hash seed (``PYTHONHASHSEED``), so looping over a set — or
+materializing one with ``list()`` / ``tuple()`` — produces a different
+order in every process.  In the deterministic packages (sim, engine,
+ml, ...) that is enough to flip an event-merge order or a feature
+column order and silently change a table.  Membership tests, ``len()``,
+set algebra and ``sorted(set(...))`` are all fine; it is only *ordered
+consumption* of an unordered container that fires.
+
+Bad (in a deterministic package)::
+
+    for site in {"nytimes", "cnn", "bbc"}:
+        schedule(site)
+    columns = list(set(labels))
+
+Good::
+
+    for site in sorted({"nytimes", "cnn", "bbc"}):
+        schedule(site)
+    columns = sorted(set(labels))
+
+The check is syntactic: it recognizes set literals, set comprehensions
+and ``set()`` / ``frozenset()`` calls consumed directly.  Sets bound to
+a variable first are not tracked — name variables so the reader can see
+the ordering contract, and sort at the consumption point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint import rules as _rules
+from repro.lint.astutil import ImportMap, dotted_name
+from repro.lint.registry import Finding, Rule, register
+from repro.lint.walker import SourceModule
+
+#: Calls that materialize their argument into an ordered sequence.
+_ORDERING_CONSUMERS = frozenset({"enumerate", "iter", "list", "tuple"})
+
+
+def _is_set_expression(node: ast.AST, imports: ImportMap) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = imports.canonical(node.func)
+        return name in ("set", "frozenset")
+    return False
+
+
+@register
+class SetIterationRule(Rule):
+    id = "set-iteration-order"
+    summary = "set consumed in an order-sensitive way in a deterministic module"
+    docs = __doc__
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if not module.in_package(*_rules.DETERMINISTIC_PACKAGES):
+            return
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            sink = self._order_sensitive_sink(node, imports)
+            if sink is not None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"set {sink} is order-sensitive but set iteration order "
+                    "depends on PYTHONHASHSEED; wrap the set in sorted()",
+                )
+
+    def _order_sensitive_sink(
+        self, node: ast.AST, imports: ImportMap
+    ) -> Optional[str]:
+        """Describe the sink when ``node`` consumes a set in order."""
+        if isinstance(node, ast.For) and _is_set_expression(node.iter, imports):
+            return "iterated by a for loop"
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            if any(
+                _is_set_expression(gen.iter, imports) for gen in node.generators
+            ):
+                return "iterated by a comprehension"
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if (
+                name in _ORDERING_CONSUMERS
+                and node.args
+                and _is_set_expression(node.args[0], imports)
+            ):
+                return f"materialized by {name}()"
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+                and node.args
+                and _is_set_expression(node.args[0], imports)
+            ):
+                return "concatenated by str.join()"
+        return None

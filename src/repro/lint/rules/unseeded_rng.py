@@ -1,0 +1,156 @@
+"""unseeded-rng: every random stream must start from an explicit seed.
+
+One unseeded generator anywhere in the trace path and two runs of the
+same ``(spec, seed)`` diverge — which silently voids the parallel ==
+serial and profiled == unprofiled bit-identity guarantees the tables
+rest on.  The rule flags three spellings:
+
+* ``np.random.default_rng()`` with no arguments (fresh OS entropy);
+* the legacy global numpy API (``np.random.seed`` / ``np.random.rand``
+  / ``np.random.normal`` ...), which mutates hidden process-wide state
+  that parallel workers do not share;
+* the stdlib global ``random`` module (``random.random()``,
+  ``random.shuffle()``, ...), plus ``random.Random()`` /
+  ``random.SystemRandom()`` without a seed.
+
+Bad::
+
+    rng = np.random.default_rng()
+    jitter = np.random.normal(0.0, 1.0)
+
+Good::
+
+    rng = np.random.default_rng(spec.seed)
+    jitter = rng.normal(0.0, 1.0)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import ImportMap, call_has_arguments
+from repro.lint.registry import Finding, Rule, register
+from repro.lint.walker import SourceModule
+
+#: Legacy numpy.random module-level functions (hidden global state).
+_NUMPY_LEGACY = frozenset(
+    {
+        "beta",
+        "binomial",
+        "bytes",
+        "chisquare",
+        "choice",
+        "dirichlet",
+        "exponential",
+        "gamma",
+        "geometric",
+        "get_state",
+        "gumbel",
+        "integers",
+        "laplace",
+        "lognormal",
+        "multinomial",
+        "multivariate_normal",
+        "normal",
+        "pareto",
+        "permutation",
+        "poisson",
+        "rand",
+        "randint",
+        "randn",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "seed",
+        "set_state",
+        "shuffle",
+        "standard_cauchy",
+        "standard_exponential",
+        "standard_gamma",
+        "standard_normal",
+        "standard_t",
+        "uniform",
+        "vonmises",
+        "weibull",
+    }
+)
+
+#: stdlib ``random`` module-level functions (one hidden Mersenne state).
+_STDLIB_GLOBAL = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+
+@register
+class UnseededRngRule(Rule):
+    id = "unseeded-rng"
+    summary = "random source created or used without an explicit seed"
+    docs = __doc__
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = imports.canonical(node.func)
+            if name is None:
+                continue
+            if name == "numpy.random.default_rng" and not call_has_arguments(node):
+                yield self.finding(
+                    module,
+                    node,
+                    "np.random.default_rng() without a seed draws OS entropy; "
+                    "pass a seed or thread an existing Generator through",
+                )
+            elif name == "random.Random" and not call_has_arguments(node):
+                yield self.finding(
+                    module,
+                    node,
+                    "random.Random() without a seed is nondeterministic; "
+                    "pass an explicit seed",
+                )
+            elif name == "random.SystemRandom":
+                yield self.finding(
+                    module,
+                    node,
+                    "random.SystemRandom draws OS entropy and can never be "
+                    "seeded; use a seeded Generator instead",
+                )
+            elif name.startswith("numpy.random.") and name.rpartition(".")[2] in _NUMPY_LEGACY:
+                yield self.finding(
+                    module,
+                    node,
+                    f"legacy global numpy RNG call {name}(); use a seeded "
+                    "np.random.Generator threaded through the call chain",
+                )
+            elif name.startswith("random.") and name.rpartition(".")[2] in _STDLIB_GLOBAL:
+                yield self.finding(
+                    module,
+                    node,
+                    f"global stdlib RNG call {name}(); use a seeded "
+                    "random.Random (or numpy Generator) instance",
+                )

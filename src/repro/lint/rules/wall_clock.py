@@ -1,0 +1,87 @@
+"""wall-clock-in-sim: simulated components must not read the host clock.
+
+The simulator's whole contract is that *simulated* nanoseconds are the
+only time that exists: traces replay bit-identically regardless of host
+load, and a cached trace equals a fresh one.  A ``time.time()`` (or
+``perf_counter`` / ``datetime.now``) reachable from the simulation,
+timer-model, defense or workload layers couples results to the host
+clock.  The observability and runner layers legitimately measure wall
+time, so the rule only fires inside :data:`CHECKED_PACKAGES`.
+
+Bad (in ``repro.sim``)::
+
+    import time
+    deadline = time.time() + budget_s
+
+Good::
+
+    deadline_ns = now_ns + budget_ns   # simulated clock, threaded in
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import ImportMap
+from repro.lint.registry import Finding, Rule, register
+from repro.lint.walker import SourceModule
+
+#: Packages where host-clock access is forbidden.  The obs, viz,
+#: engine and experiment-runner layers are allowlisted by omission —
+#: they time *stages*, never simulated behaviour.
+CHECKED_PACKAGES = (
+    "repro.defenses",
+    "repro.sim",
+    "repro.timers",
+    "repro.workload",
+)
+
+#: Canonical names that read the host clock.
+_CLOCK_NAMES = frozenset(
+    {
+        "datetime.date.today",
+        "datetime.datetime.now",
+        "datetime.datetime.today",
+        "datetime.datetime.utcnow",
+        "time.clock_gettime",
+        "time.clock_gettime_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.time",
+        "time.time_ns",
+    }
+)
+
+
+@register
+class WallClockRule(Rule):
+    id = "wall-clock-in-sim"
+    summary = "host-clock read inside a simulated-time-only package"
+    docs = __doc__
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if not module.in_package(*CHECKED_PACKAGES):
+            return
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            # Only the outermost node of a dotted chain should report
+            # (time.time is one Attribute over one Name; skip the Name).
+            parent = getattr(node, "parent", None)
+            if isinstance(parent, ast.Attribute):
+                continue
+            name = imports.canonical(node)
+            if name in _CLOCK_NAMES:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{name} reads the host clock inside {module.module}; "
+                    "simulated components must derive all times from the "
+                    "simulated-nanosecond timeline",
+                )

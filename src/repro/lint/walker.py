@@ -1,0 +1,148 @@
+"""File discovery, parsing and module-name resolution for the linter.
+
+The walker turns a list of paths into :class:`SourceModule` objects: the
+parsed AST (with parent back-links on every node), the raw source lines
+(for suppression comments) and the dotted module name, which rules use
+for scoping — ``wall-clock-in-sim`` only fires inside ``repro.sim`` and
+friends.
+
+Module names are resolved by following the ``__init__.py`` chain upward
+from the file, so ``src/repro/sim/machine.py`` becomes
+``repro.sim.machine`` regardless of the working directory.  A fixture
+file can claim any module identity with a pragma comment near the top::
+
+    # lint: module=repro.sim.fixture
+
+Directory discovery skips ``__pycache__`` and ``fixtures`` directories
+(the latter hold intentionally-broken lint test corpora); explicitly
+listed files are always linted.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.lint.registry import Finding
+
+#: Directory names skipped during recursive discovery.
+EXCLUDED_DIR_NAMES = frozenset(
+    {"__pycache__", ".git", ".venv", "venv", "build", "dist", "fixtures"}
+)
+
+#: ``# lint: module=<dotted.name>`` — looked for in the first few lines.
+_MODULE_PRAGMA = re.compile(r"#\s*lint:\s*module=([A-Za-z_][\w.]*)")
+_PRAGMA_SCAN_LINES = 10
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file, ready for rule checks."""
+
+    path: pathlib.Path
+    display_path: str
+    module: Optional[str]
+    tree: Optional[ast.Module]
+    lines: list[str] = field(default_factory=list)
+    parse_error: Optional[Finding] = None
+
+    def in_package(self, *packages: str) -> bool:
+        """True when the module lives in (or under) any of ``packages``."""
+        if self.module is None:
+            return False
+        return any(
+            self.module == package or self.module.startswith(package + ".")
+            for package in packages
+        )
+
+
+def discover(paths: Sequence[str]) -> Iterator[pathlib.Path]:
+    """Yield Python files under ``paths`` in a deterministic order.
+
+    Files are yielded verbatim (even inside excluded directories — an
+    explicit argument always wins); directories are walked recursively
+    with :data:`EXCLUDED_DIR_NAMES` pruned, in sorted order.
+    """
+    seen: set[pathlib.Path] = set()
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        if path.is_file():
+            candidates: Iterator[pathlib.Path] = iter([path])
+        else:
+            candidates = (
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not (EXCLUDED_DIR_NAMES & set(part.name for part in candidate.parents))
+            )
+        for candidate in candidates:
+            marker = candidate.resolve()
+            if marker not in seen:
+                seen.add(marker)
+                yield candidate
+
+
+def resolve_module_name(path: pathlib.Path) -> Optional[str]:
+    """Dotted module name via the ``__init__.py`` chain, or None."""
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else None
+
+
+def _pragma_module(lines: Sequence[str]) -> Optional[str]:
+    for line in lines[:_PRAGMA_SCAN_LINES]:
+        match = _MODULE_PRAGMA.search(line)
+        if match:
+            return match.group(1)
+    return None
+
+
+def annotate_parents(tree: ast.Module) -> None:
+    """Attach a ``parent`` attribute to every node below ``tree``."""
+    tree.parent = None  # type: ignore[attr-defined]
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child.parent = node  # type: ignore[attr-defined]
+
+
+def load_module(path: pathlib.Path) -> SourceModule:
+    """Parse ``path`` into a :class:`SourceModule`.
+
+    Syntax errors do not raise: they come back as a ``syntax-error``
+    finding in :attr:`SourceModule.parse_error` so one broken file does
+    not hide the rest of the report.
+    """
+    display = str(path)
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as error:
+        finding = Finding(
+            rule="syntax-error",
+            path=display,
+            line=error.lineno or 1,
+            col=(error.offset or 1) - 1,
+            message=f"file does not parse: {error.msg}",
+        )
+        return SourceModule(
+            path=path,
+            display_path=display,
+            module=None,
+            tree=None,
+            lines=lines,
+            parse_error=finding,
+        )
+    annotate_parents(tree)
+    module = _pragma_module(lines) or resolve_module_name(path)
+    return SourceModule(
+        path=path, display_path=display, module=module, tree=tree, lines=lines
+    )

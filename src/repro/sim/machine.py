@@ -205,11 +205,19 @@ class InterruptSynthesizer:
     ) -> MachineRun:
         """Simulate one victim run.
 
-        ``extra_batches`` is a list of ``(core, batch)`` pairs injected on
-        top of workload-driven interrupts (used by noise defenses).
+        ``rng`` is required: every interrupt the synthesizer emits must
+        come from a caller-seeded stream so a trace stays a pure function
+        of ``(spec, seed)``.  ``extra_batches`` is a list of ``(core,
+        batch)`` pairs injected on top of workload-driven interrupts
+        (used by noise defenses).
         """
         style = style or SiteStyle()
-        rng = rng if rng is not None else np.random.default_rng()
+        if not isinstance(rng, np.random.Generator):
+            raise TypeError(
+                "synthesize() requires a seeded np.random.Generator (got "
+                f"{type(rng).__name__}); derive one from the spec seed, e.g. "
+                "np.random.default_rng(spec.seed)"
+            )
         span = obs.span("sim.synthesize", horizon_ns=int(timeline.horizon_ns))
         with span:
             per_core: list[list[InterruptBatch]] = [

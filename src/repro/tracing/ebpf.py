@@ -44,12 +44,12 @@ class KprobeTracer:
     """Logs interrupt entry/exit on one core of a simulated run."""
 
     def __init__(self, run: MachineRun, core: Optional[int] = None,
-                 config: TracerConfig = TracerConfig()):
+                 config: Optional[TracerConfig] = None):
         self.run = run
         self.core_index = run.config.attacker_core if core is None else int(core)
         if not 0 <= self.core_index < len(run.cores):
             raise ValueError(f"core {self.core_index} out of range")
-        self.config = config
+        self.config = TracerConfig() if config is None else config
         self._timeline: CoreTimeline = run.cores[self.core_index]
         all_types = list(InterruptType)
         visible = np.array(

@@ -210,7 +210,7 @@ def _generate_signature(name: str, seed: int) -> tuple[list[BurstTemplate], Site
             duty=duty,
         )
     )
-    for i in range(int(rng.integers(2, 8))):
+    for _ in range(int(rng.integers(2, 8))):
         templates.append(
             BurstTemplate(
                 kind=BurstKind.NETWORK,

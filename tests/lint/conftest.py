@@ -1,0 +1,15 @@
+"""Shared paths for the lint test suite."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+REPO_ROOT = pathlib.Path(__file__).parents[2]
+
+
+@pytest.fixture
+def fixtures() -> pathlib.Path:
+    return FIXTURES

@@ -1,0 +1,11 @@
+"""Fixture: PYTHONHASHSEED-dependent hash() in control flow and keys."""
+
+
+def shard_of(site, n_shards, table, flags):
+    shard = hash(site) % n_shards
+    if hash(site + ".com") & 1:
+        shard += 1
+    bucket = table[hash(b"key")]
+    lookup = {hash(f"{site}"): shard}
+    ordered = sorted(flags, key=lambda flag: hash(flag))
+    return shard, bucket, lookup, ordered

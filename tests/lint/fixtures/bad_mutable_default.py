@@ -1,0 +1,27 @@
+"""Fixture: mutable default arguments."""
+import collections
+
+
+def accumulate(batch, sink=[]):
+    sink.append(batch)
+    return sink
+
+
+def tally(key, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def dedupe(item, seen=set()):
+    seen.add(item)
+    return seen
+
+
+def queue_up(item, pending=collections.deque()):
+    pending.append(item)
+    return pending
+
+
+def keyword_only(*, history=list()):
+    history.append(1)
+    return history

@@ -1,0 +1,12 @@
+# lint: module=repro.sim.fixture
+"""Fixture: sets feeding order-sensitive sinks in a deterministic module."""
+
+
+def order_chaos(labels):
+    for site in {"nytimes", "cnn", "bbc"}:
+        print(site)
+    columns = list(set(labels))
+    pairs = [(x, x) for x in {1, 2, 3}]
+    joined = ",".join({str(x) for x in labels})
+    frozen = tuple(frozenset(labels))
+    return columns, pairs, joined, frozen

@@ -1,0 +1,14 @@
+"""Fixture: every statement below violates unseeded-rng."""
+import random
+
+import numpy as np
+
+
+def entropy_everywhere():
+    rng = np.random.default_rng()
+    noise = np.random.normal(0.0, 1.0, 16)
+    np.random.seed(0)
+    generator = random.Random()
+    system = random.SystemRandom()
+    pick = random.choice([1, 2, 3])
+    return rng, noise, generator, system, pick

@@ -1,0 +1,15 @@
+"""Fixture: directory listings consumed without sorted()."""
+import glob
+import os
+import pathlib
+
+
+def scan(root: pathlib.Path):
+    names = os.listdir(root)
+    matches = glob.glob("*.npz")
+    for path in root.glob("*.jsonl"):
+        names.append(path.name)
+    for path in root.iterdir():
+        names.append(path.name)
+    deep = list(root.rglob("*.py"))
+    return names, matches, deep

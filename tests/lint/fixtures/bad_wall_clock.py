@@ -1,0 +1,13 @@
+# lint: module=repro.sim.fixture
+"""Fixture: host-clock reads inside a simulated-time-only package."""
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def now_everything():
+    wall = time.time()
+    mono = time.monotonic_ns()
+    perf = perf_counter()
+    stamp = datetime.now()
+    return wall, mono, perf, stamp

@@ -1,0 +1,30 @@
+# lint: module=repro.sim.fixture
+"""Fixture: the good spellings of every rule — must produce no findings."""
+import hashlib
+import os
+import pathlib
+import random
+
+import numpy as np
+
+
+class Keyed:
+    def __init__(self, value):
+        self.value = value
+
+    def __hash__(self):
+        return hash((Keyed, self.value))
+
+
+def all_good(seed: int, root: pathlib.Path, labels, sink=None):
+    rng = np.random.default_rng(seed)
+    stdlib_rng = random.Random(seed)
+    noise = rng.normal(0.0, 1.0, 16)
+    names = sorted(os.listdir(root))
+    files = sorted(root.glob("*.jsonl"))
+    columns = sorted(set(labels))
+    membership = "bbc" in {"nytimes", "cnn", "bbc"}
+    digest = hashlib.sha256(str(labels).encode()).hexdigest()
+    sink = [] if sink is None else sink
+    sink.append(digest)
+    return rng, stdlib_rng, noise, names, files, columns, membership, sink

@@ -1,0 +1,11 @@
+"""Fixture: mutable defaults, suppressed (intentional module-level cache)."""
+
+
+def accumulate(batch, sink=[]):  # lint: disable=mutable-default-arg
+    sink.append(batch)
+    return sink
+
+
+def tally(key, counts={}):  # lint: disable=all
+    counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,9 @@
+# lint: module=repro.sim.fixture
+"""Fixture: the same set consumption, suppressed inline."""
+
+
+def order_chaos(labels):
+    for site in {"nytimes", "cnn", "bbc"}:  # lint: disable=set-iteration-order
+        print(site)
+    columns = list(set(labels))  # lint: disable=all
+    return columns

@@ -1,0 +1,11 @@
+"""Fixture: same violations as bad_unseeded_rng, all suppressed inline."""
+import random
+
+import numpy as np
+
+
+def entropy_everywhere():
+    rng = np.random.default_rng()  # lint: disable=unseeded-rng
+    noise = np.random.normal(0.0, 1.0, 16)  # lint: disable=unseeded-rng
+    generator = random.Random()  # lint: disable=all
+    return rng, noise, generator

@@ -1,0 +1,10 @@
+"""Fixture: unsorted listings, suppressed (order genuinely irrelevant)."""
+import os
+import pathlib
+
+
+def nuke(root: pathlib.Path):
+    for name in os.listdir(root):  # lint: disable=unsorted-dir-iteration
+        (root / name).unlink()
+    for path in root.glob("*.tmp"):  # lint: disable=all
+        path.unlink()

@@ -1,0 +1,9 @@
+# lint: module=repro.sim.fixture
+"""Fixture: the same host-clock reads, suppressed inline."""
+import time
+
+
+def now_everything():
+    wall = time.time()  # lint: disable=wall-clock-in-sim
+    mono = time.monotonic_ns()  # lint: disable=all
+    return wall, mono

@@ -1,0 +1,66 @@
+"""Every rule fires on its bad fixture and stays quiet when suppressed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import lint_paths, rule_ids
+
+#: rule id -> (fixture stem, minimum expected findings in the bad file).
+RULE_FIXTURES = {
+    "unseeded-rng": ("unseeded_rng", 6),
+    "wall-clock-in-sim": ("wall_clock", 4),
+    "unsorted-dir-iteration": ("unsorted_dir", 5),
+    "set-iteration-order": ("set_iteration", 5),
+    "mutable-default-arg": ("mutable_default", 5),
+    "env-dependent-hash": ("env_hash", 5),
+}
+
+
+def test_every_rule_has_a_fixture():
+    assert sorted(RULE_FIXTURES) == rule_ids()
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+def test_bad_fixture_is_flagged(rule_id, fixtures):
+    stem, expected = RULE_FIXTURES[rule_id]
+    run = lint_paths([str(fixtures / f"bad_{stem}.py")], select=[rule_id])
+    assert len(run.findings) >= expected
+    assert {finding.rule for finding in run.findings} == {rule_id}
+    assert all(finding.line > 0 for finding in run.findings)
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+def test_suppressed_fixture_is_quiet(rule_id, fixtures):
+    stem, _ = RULE_FIXTURES[rule_id]
+    run = lint_paths([str(fixtures / f"suppressed_{stem}.py")], select=[rule_id])
+    assert run.findings == []
+    assert len(run.suppressed) >= 2  # one per-rule disable, one disable=all
+
+
+def test_clean_fixture_has_no_findings(fixtures):
+    run = lint_paths([str(fixtures / "clean.py")])
+    assert run.findings == []
+    assert run.suppressed == []
+
+
+def test_bad_fixtures_only_trip_their_own_rule(fixtures):
+    """Cross-check: the clean spellings in one fixture don't trip others."""
+    for rule_id, (stem, _) in sorted(RULE_FIXTURES.items()):
+        run = lint_paths([str(fixtures / f"bad_{stem}.py")])
+        assert {finding.rule for finding in run.findings} == {rule_id}
+
+
+def test_select_and_ignore_are_validated(fixtures):
+    with pytest.raises(KeyError):
+        lint_paths([str(fixtures / "clean.py")], select=["no-such-rule"])
+    with pytest.raises(KeyError):
+        lint_paths([str(fixtures / "clean.py")], ignore=["no-such-rule"])
+
+
+def test_ignore_removes_a_rule(fixtures):
+    stem, _ = RULE_FIXTURES["unseeded-rng"]
+    run = lint_paths(
+        [str(fixtures / f"bad_{stem}.py")], ignore=["unseeded-rng"]
+    )
+    assert run.findings == []

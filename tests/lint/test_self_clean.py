@@ -1,0 +1,26 @@
+"""The repo lints its own source — including the linter itself.
+
+This is the machine-checked form of the acceptance criterion that
+``biggerfish lint src/ tests/`` exits 0 with an empty baseline: every
+recorded table and figure comes from a lint-clean tree.
+"""
+
+from __future__ import annotations
+
+from repro.lint import lint_paths
+
+from tests.lint.conftest import REPO_ROOT
+
+
+def test_src_and_tests_are_lint_clean():
+    run = lint_paths([str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")])
+    assert run.files_checked > 100
+    assert run.findings == [], "\n".join(
+        finding.render() for finding in run.findings
+    )
+
+
+def test_linter_package_itself_is_covered():
+    run = lint_paths([str(REPO_ROOT / "src" / "repro" / "lint")])
+    assert run.files_checked >= 10
+    assert run.findings == []

@@ -1,0 +1,76 @@
+"""Discovery order, module resolution and parse-error handling."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.lint import lint_paths
+from repro.lint.walker import discover, load_module, resolve_module_name
+
+from tests.lint.conftest import REPO_ROOT
+
+
+def test_discovery_is_sorted_and_deduplicated(tmp_path):
+    for name in ("b.py", "a.py", "c.py"):
+        (tmp_path / name).write_text("x = 1\n")
+    found = list(discover([str(tmp_path), str(tmp_path / "a.py")]))
+    assert [path.name for path in found] == ["a.py", "b.py", "c.py"]
+
+
+def test_directory_walk_skips_fixture_and_cache_dirs(tmp_path):
+    (tmp_path / "fixtures").mkdir()
+    (tmp_path / "fixtures" / "bad.py").write_text("x = 1\n")
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    assert [path.name for path in discover([str(tmp_path)])] == ["ok.py"]
+
+
+def test_explicit_file_beats_directory_excludes(tmp_path):
+    nested = tmp_path / "fixtures"
+    nested.mkdir()
+    target = nested / "bad.py"
+    target.write_text("import random\nrandom.random()\n")
+    run = lint_paths([str(target)])
+    assert [finding.rule for finding in run.findings] == ["unseeded-rng"]
+
+
+def test_missing_path_raises():
+    with pytest.raises(FileNotFoundError):
+        list(discover(["no/such/path.py"]))
+
+
+def test_module_resolution_follows_init_chain():
+    machine = REPO_ROOT / "src" / "repro" / "sim" / "machine.py"
+    assert resolve_module_name(machine) == "repro.sim.machine"
+    package = REPO_ROOT / "src" / "repro" / "sim" / "__init__.py"
+    assert resolve_module_name(package) == "repro.sim"
+
+
+def test_module_pragma_overrides_resolution(tmp_path):
+    path = tmp_path / "loose.py"
+    path.write_text("# lint: module=repro.sim.pretend\nx = 1\n")
+    module = load_module(path)
+    assert module.module == "repro.sim.pretend"
+    assert module.in_package("repro.sim")
+    assert not module.in_package("repro.obs")
+
+
+def test_syntax_error_becomes_a_finding(tmp_path):
+    path = tmp_path / "broken.py"
+    path.write_text("def oops(:\n")
+    run = lint_paths([str(path)])
+    assert len(run.findings) == 1
+    assert run.findings[0].rule == "syntax-error"
+    assert "does not parse" in run.findings[0].message
+
+
+def test_parent_links_are_annotated(tmp_path):
+    path = tmp_path / "linked.py"
+    path.write_text("value = [1, 2]\n")
+    module = load_module(path)
+    assign = module.tree.body[0]
+    assert assign.value.parent is assign
+    assert pathlib.Path(module.display_path) == path

@@ -74,7 +74,7 @@ class TestDeltaFlush:
         assert obs.flush_metrics() is True
         lines = [
             json.loads(line)
-            for path in spool.glob("metrics-*.jsonl")
+            for path in sorted(spool.glob("metrics-*.jsonl"))
             for line in path.read_text().splitlines()
         ]
         assert [event["counters"]["c"] for event in lines] == [3, 2]
@@ -87,7 +87,7 @@ class TestDeltaFlush:
         obs.flush_metrics()
         lines = [
             json.loads(line)
-            for path in spool.glob("metrics-*.jsonl")
+            for path in sorted(spool.glob("metrics-*.jsonl"))
             for line in path.read_text().splitlines()
         ]
         assert lines[0]["histograms"]["h"]["counts"] == [1, 0]

@@ -28,7 +28,7 @@ class TestDisabled:
     def test_nothing_written(self, tmp_path):
         with obs.span("quiet"):
             pass
-        assert list(tmp_path.rglob("*.jsonl")) == []
+        assert sorted(tmp_path.rglob("*.jsonl")) == []
 
     def test_enabled_flag(self):
         assert not obs.enabled()

@@ -1,0 +1,76 @@
+"""Regression tests: a simulated run is a pure function of (spec, seed).
+
+Guards the ``unseeded-rng`` fix in :mod:`repro.sim.machine` — the
+synthesizer used to fall back to ``np.random.default_rng()`` (fresh OS
+entropy) when no generator was passed, which silently voided every
+bit-identity guarantee downstream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.events import SEC
+from repro.sim.machine import InterruptSynthesizer, MachineConfig
+from repro.workload.browser import LINUX
+from repro.workload.website import profile_for
+
+HORIZON = 4 * SEC
+
+
+def _fresh_run(seed=29, site_name="nytimes.com"):
+    """Build machine + timeline + run from scratch, as a spec would."""
+    synthesizer = InterruptSynthesizer(MachineConfig(os=LINUX))
+    rng = np.random.default_rng(seed)
+    site = profile_for(site_name)
+    timeline = site.generate_load(rng, HORIZON)
+    return synthesizer.synthesize(timeline, style=site.style, rng=rng)
+
+
+class TestSynthesizeRequiresGenerator:
+    def test_missing_rng_raises(self):
+        synthesizer = InterruptSynthesizer(MachineConfig(os=LINUX))
+        site = profile_for("nytimes.com")
+        timeline = site.generate_load(np.random.default_rng(0), HORIZON)
+        with pytest.raises(TypeError, match="seeded np.random.Generator"):
+            synthesizer.synthesize(timeline)
+
+    def test_legacy_randomstate_rejected(self):
+        synthesizer = InterruptSynthesizer(MachineConfig(os=LINUX))
+        site = profile_for("nytimes.com")
+        timeline = site.generate_load(np.random.default_rng(0), HORIZON)
+        legacy = np.random.RandomState(0)
+        with pytest.raises(TypeError):
+            synthesizer.synthesize(timeline, rng=legacy)
+
+
+class TestSameSpecSameTrace:
+    def test_two_machines_from_one_spec_are_bit_identical(self):
+        first = _fresh_run()
+        second = _fresh_run()
+        assert len(first.cores) == len(second.cores)
+        for core_a, core_b in zip(first.cores, second.cores):
+            np.testing.assert_array_equal(core_a.arrivals, core_b.arrivals)
+            np.testing.assert_array_equal(
+                core_a.handler_durations, core_b.handler_durations
+            )
+            np.testing.assert_array_equal(core_a.type_codes, core_b.type_codes)
+            np.testing.assert_array_equal(
+                core_a.gaps.durations(), core_b.gaps.durations()
+            )
+        np.testing.assert_array_equal(
+            first.occupancy_victim, second.occupancy_victim
+        )
+        np.testing.assert_array_equal(
+            first.occupancy_ambient, second.occupancy_ambient
+        )
+        np.testing.assert_array_equal(
+            first.frequency.boundaries_ns, second.frequency.boundaries_ns
+        )
+        np.testing.assert_array_equal(first.frequency.ghz, second.frequency.ghz)
+
+    def test_different_seeds_differ(self):
+        first = _fresh_run(seed=29)
+        second = _fresh_run(seed=30)
+        assert not np.array_equal(
+            first.attacker_timeline.arrivals, second.attacker_timeline.arrivals
+        )
