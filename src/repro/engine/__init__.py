@@ -9,6 +9,11 @@ provides the two pieces that fix both:
   that fans work out at (site, trace-index) / fold granularity with
   deterministic per-task seeding, so parallel results are bit-identical
   to serial ones.  ``jobs=1`` (the default) runs everything inline.
+  Dispatch is future-based and fault-tolerant: failed attempts retry
+  with capped deterministic backoff, hung tasks are abandoned past a
+  per-task timeout, and a broken worker pool is respawned (then falls
+  back inline) — see :mod:`repro.engine.engine` and the test-only
+  :mod:`repro.engine.faults` injection hook.
 * :class:`TraceCache` — a content-addressed on-disk store keyed by a
   hash of everything that determines a trace (machine config, browser,
   attacker, timer, period, site signature, trace index, seed, package
@@ -29,18 +34,32 @@ from repro.engine.cache import (
     stable_token,
 )
 from repro.engine.context import RunContext
-from repro.engine.engine import ExecutionEngine, resolve_jobs
+from repro.engine.engine import (
+    ExecutionEngine,
+    TaskError,
+    TaskFailedError,
+    resolve_jobs,
+    resolve_retries,
+    resolve_task_timeout,
+)
+from repro.engine.faults import FaultPlan, InjectedFault
 from repro.engine.manifest import RunManifest
 
 __all__ = [
     "CacheStats",
     "ExecutionEngine",
+    "FaultPlan",
+    "InjectedFault",
     "RunContext",
     "RunManifest",
+    "TaskError",
+    "TaskFailedError",
     "TraceCache",
     "Uncacheable",
     "cache_key",
     "default_cache_dir",
     "resolve_jobs",
+    "resolve_retries",
+    "resolve_task_timeout",
     "stable_token",
 ]

@@ -16,7 +16,8 @@ depends on cacheability.
 
 The cache directory defaults to ``~/.cache/biggerfish/traces`` and is
 overridable with ``BIGGERFISH_CACHE_DIR``; total size is capped (default
-2 GiB, ``BIGGERFISH_CACHE_MAX_BYTES``) with oldest-first eviction.
+2 GiB, ``BIGGERFISH_CACHE_MAX_BYTES``) with least-recently-used eviction
+(hits refresh an entry's mtime; the entry just written is never evicted).
 """
 
 from __future__ import annotations
@@ -89,8 +90,18 @@ def stable_token(obj: Any) -> str:
     if isinstance(obj, (tuple, list)):
         return f"seq:[{','.join(stable_token(item) for item in obj)}]"
     if isinstance(obj, dict):
+        try:
+            entries = sorted(obj.items())
+        except TypeError:
+            # Mixed-type keys have no canonical order; surfacing the raw
+            # TypeError would defeat the collector's "silently bypass the
+            # cache" contract, which catches only Uncacheable.
+            kinds = ", ".join(sorted({type(k).__name__ for k in obj}))
+            raise Uncacheable(
+                f"cannot canonically order dict keys of mixed types ({kinds})"
+            ) from None
         parts = ",".join(
-            f"{stable_token(k)}:{stable_token(v)}" for k, v in sorted(obj.items())
+            f"{stable_token(k)}:{stable_token(v)}" for k, v in entries
         )
         return f"map:{{{parts}}}"
     raise Uncacheable(
@@ -211,6 +222,10 @@ class TraceCache:
             self.stats.misses += 1
             obs_metrics.counter("engine.cache.misses").inc()
             return None
+        # Refresh mtime on every hit so eviction order is LRU, not FIFO —
+        # without this the hottest entries are the first to be evicted.
+        with contextlib.suppress(OSError):
+            os.utime(entry)
         self.stats.hits += 1
         self.stats.bytes_read += entry.stat().st_size
         obs_metrics.counter("engine.cache.hits").inc()
@@ -221,6 +236,9 @@ class TraceCache:
         """Store a finished trace under ``key`` (atomic, then evict)."""
         entry = self._entry_path(key)
         entry.parent.mkdir(parents=True, exist_ok=True)
+        old_size = 0
+        with contextlib.suppress(OSError):
+            old_size = entry.stat().st_size
         fd, tmp_name = tempfile.mkstemp(
             prefix=".tmp-", suffix=".npz", dir=entry.parent
         )
@@ -245,18 +263,34 @@ class TraceCache:
         self.stats.bytes_written += written
         obs_metrics.counter("engine.cache.puts").inc()
         obs_metrics.counter("engine.cache.bytes_written").inc(written)
-        self._size_bytes = self._scan_size() + written
+        if self._size_bytes is None:
+            # First put through a cold handle: the directory scan runs
+            # after os.replace put the entry in place, so it already
+            # counts the new bytes — adding `written` on top would
+            # double-count every fresh entry and trigger premature
+            # eviction.
+            self._scan_size()
+        else:
+            self._size_bytes += written - old_size
         if self._size_bytes > self.max_bytes:
-            self._evict_to_cap()
+            self._evict_to_cap(protect=entry)
 
-    def _evict_to_cap(self) -> None:
-        """Drop oldest entries (by mtime) until under the size cap."""
+    def _evict_to_cap(self, protect: Optional[pathlib.Path] = None) -> None:
+        """Drop least-recently-used entries until under the size cap.
+
+        ``get`` refreshes mtime on every hit, so mtime order is LRU
+        order.  ``protect`` — the entry that was just written — is never
+        evicted: a put into a full cache must not delete the very trace
+        its caller is about to rely on.
+        """
         entries = [(p.stat().st_mtime, p.stat().st_size, p) for p in self._entries()]
         entries.sort()
         size = sum(s for _, s, _ in entries)
         for _, entry_size, entry in entries:
             if size <= self.max_bytes:
                 break
+            if protect is not None and entry == protect:
+                continue
             with contextlib.suppress(OSError):
                 entry.unlink()
                 size -= entry_size

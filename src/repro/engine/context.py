@@ -43,14 +43,23 @@ class RunContext:
         seed: int = 0,
         jobs: Optional[int] = None,
         cache=None,
+        retries: Optional[int] = None,
+        task_timeout: Optional[float] = None,
     ) -> "RunContext":
         """Context with a fresh engine (jobs from ``BIGGERFISH_JOBS``).
 
         This is what the legacy ``run(scale=, seed=)`` shim builds, so
-        even old call sites pick up the ``--jobs`` environment knob;
-        caching stays opt-in.
+        even old call sites pick up the ``--jobs`` environment knob —
+        and the fault-tolerance knobs (``BIGGERFISH_RETRIES``,
+        ``BIGGERFISH_TASK_TIMEOUT``); caching stays opt-in.
         """
-        return cls(scale=scale, seed=seed, engine=ExecutionEngine(jobs, cache=cache))
+        return cls(
+            scale=scale,
+            seed=seed,
+            engine=ExecutionEngine(
+                jobs, cache=cache, retries=retries, task_timeout=task_timeout
+            ),
+        )
 
     def with_(self, **changes) -> "RunContext":
         """Copy with fields replaced (``ctx.with_(scale=SMOKE)``)."""

@@ -7,28 +7,97 @@ the task description alone, and the engine returns results in input
 order.  Under those rules a parallel run is bit-identical to a serial
 one — the scheduler never influences the numbers, only the wall clock.
 
+Because every task is a pure function of its description, the scheduler
+is also free to *re-execute* tasks: a retry is bit-identical to the
+first attempt.  Dispatch is future-based (one ``submit`` per task, not a
+fire-and-forget ``pool.map``), which is what makes fault tolerance
+possible:
+
+* a task that raises is retried with capped exponential backoff
+  (``retries`` / ``BIGGERFISH_RETRIES``, deterministic — no jitter);
+* a task that outlives the per-task timeout (``task_timeout`` /
+  ``BIGGERFISH_TASK_TIMEOUT``) is abandoned and retried; once every
+  worker may be wedged on an abandoned task the pool is respawned;
+* a dead worker (``BrokenProcessPool``) loses only the unfinished tasks
+  of its round: finished futures are salvaged, the pool is respawned
+  once, and if it breaks again the remaining tasks run inline in the
+  parent;
+* every failed attempt is recorded as a structured :class:`TaskError`
+  (stage, task index, attempt, kind, remote traceback) surfaced through
+  ``timings_snapshot``/``fault_snapshot`` into the run manifest, and a
+  task that exhausts its budget raises :class:`TaskFailedError`.
+
 Worker processes are spawned per ``map`` call via
 ``concurrent.futures.ProcessPoolExecutor``; tasks and their arguments
 must therefore be picklable module-level callables.  Objects holding an
 engine handle must drop it when pickled (see
 ``TraceCollector.__getstate__``) so handles never cross the process
-boundary.
+boundary.  The test-only :mod:`repro.engine.faults` hook sabotages tasks
+at the top of ``_TimedTask.__call__`` so all of the above is exercised
+in CI.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, TypeVar
+import traceback as traceback_module
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 from repro import obs
+from repro.engine import faults as engine_faults
 
 #: Environment variable overriding the default worker count.
 JOBS_ENV_VAR = "BIGGERFISH_JOBS"
+#: Environment variable overriding the per-task retry budget.
+RETRIES_ENV_VAR = "BIGGERFISH_RETRIES"
+#: Environment variable overriding the per-task timeout (seconds).
+TASK_TIMEOUT_ENV_VAR = "BIGGERFISH_TASK_TIMEOUT"
+
+#: Re-execution attempts allowed per task after the first failure.
+DEFAULT_RETRIES = 2
+#: Base of the deterministic exponential backoff between attempts.
+DEFAULT_BACKOFF_S = 0.05
+#: Cap on a single backoff sleep.
+DEFAULT_BACKOFF_CAP_S = 1.0
+#: Structured task errors kept per stage (totals keep counting past it).
+MAX_RECORDED_ERRORS_PER_STAGE = 100
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class TaskError:
+    """One failed attempt at one task, as recorded in the manifest."""
+
+    stage: str
+    index: int
+    attempt: int
+    #: "exception" | "timeout" | "worker-lost"
+    kind: str
+    error_type: str
+    message: str
+    #: Remote (or local) traceback tail, best effort.
+    where: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+class TaskFailedError(RuntimeError):
+    """A task exhausted its retry budget; carries the final TaskError."""
+
+    def __init__(self, task_error: TaskError):
+        self.task_error = task_error
+        super().__init__(
+            f"task {task_error.index} in stage "
+            f"{task_error.stage or '<unnamed>'} failed ({task_error.kind}) "
+            f"after {task_error.attempt + 1} attempt(s): "
+            f"{task_error.error_type}: {task_error.message}"
+        )
 
 
 @dataclass(frozen=True)
@@ -42,18 +111,42 @@ class _TimedTask:
     the stage statistics.  It also flushes the worker's pending metric
     deltas after every task, which is what gets worker-side observability
     data onto disk even though pool teardown skips ``atexit``.
+
+    ``index``/``attempt`` identify the attempt for the fault-injection
+    hook (consulted before the task function runs, so a sabotaged
+    attempt has no side effects to double on retry).
     """
 
     fn: Callable
     stage: Optional[str]
+    index: int = 0
+    attempt: int = 0
 
     def __call__(self, item):
+        engine_faults.maybe_inject(self.stage or "", self.index, self.attempt)
         started = time.perf_counter()
         with obs.span("engine.task", stage=self.stage or ""):
             result = self.fn(item)
         elapsed = time.perf_counter() - started
         obs.flush_metrics()
         return result, elapsed
+
+
+@dataclass
+class _MapProgress:
+    """Mutable per-``map``-call record of what actually finished.
+
+    Shared with the dispatch helpers so the exception path can record
+    *completed* work — a failed run's manifest must not claim the whole
+    stage ran.
+    """
+
+    completed: int = 0
+    task_seconds: List[float] = field(default_factory=list)
+
+    def note(self, elapsed: float) -> None:
+        self.completed += 1
+        self.task_seconds.append(elapsed)
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -77,29 +170,105 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return value
 
 
+def resolve_retries(retries: Optional[int] = None) -> int:
+    """Retry budget from an explicit value, ``BIGGERFISH_RETRIES``, or 2."""
+    if retries is not None:
+        value = int(retries)
+    else:
+        raw = os.environ.get(RETRIES_ENV_VAR, "").strip()
+        try:
+            value = int(raw) if raw else DEFAULT_RETRIES
+        except ValueError:
+            raise ValueError(
+                f"{RETRIES_ENV_VAR} must be an integer, got {raw!r}"
+            ) from None
+    if value < 0:
+        raise ValueError(f"retries must be >= 0, got {value}")
+    return value
+
+
+def resolve_task_timeout(timeout: Optional[float] = None) -> Optional[float]:
+    """Per-task timeout from an explicit value or ``BIGGERFISH_TASK_TIMEOUT``.
+
+    None (the default) disables the timeout.  The timeout is measured
+    from when the scheduler starts waiting on a task, which upper-bounds
+    the task's own runtime.
+    """
+    if timeout is None:
+        raw = os.environ.get(TASK_TIMEOUT_ENV_VAR, "").strip()
+        if not raw:
+            return None
+        try:
+            timeout = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{TASK_TIMEOUT_ENV_VAR} must be a number of seconds, got {raw!r}"
+            ) from None
+    value = float(timeout)
+    if value <= 0:
+        raise ValueError(f"task timeout must be positive, got {value}")
+    return value
+
+
 class ExecutionEngine:
-    """Fans independent tasks out over worker processes.
+    """Fans independent tasks out over worker processes, surviving faults.
 
     ``jobs=1`` (the default) executes tasks inline — no processes, no
     pickling — so library users pay nothing unless they opt in.  The
     engine also carries the run's :class:`~repro.engine.cache.TraceCache`
     handle (``cache=None`` disables caching) and accumulates per-stage
-    wall-clock timings for the run manifest.
+    wall-clock timings plus fault counters (retries, timeouts, lost
+    tasks, structured errors) for the run manifest.
+
+    Retries are deterministic: tasks are pure functions of their
+    descriptions, so a re-executed task is bit-identical, and backoff is
+    capped exponential with no jitter.
     """
 
-    def __init__(self, jobs: Optional[int] = None, cache=None):
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache=None,
+        retries: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        backoff_s: float = DEFAULT_BACKOFF_S,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+    ):
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
+        self.retries = resolve_retries(retries)
+        self.task_timeout = resolve_task_timeout(task_timeout)
+        self.backoff_s = float(backoff_s)
+        self.backoff_cap_s = float(backoff_cap_s)
         #: Stage name -> cumulative wall-clock seconds spent in map().
         self.stage_seconds: Dict[str, float] = {}
-        #: Stage name -> cumulative task count.
+        #: Stage name -> cumulative *completed* task count.
         self.stage_tasks: Dict[str, int] = {}
         #: Stage name -> per-task elapsed statistics (min/sum/max/count).
         self.stage_task_stats: Dict[str, Dict[str, float]] = {}
+        #: Stage name -> re-executed attempts.
+        self.stage_retries: Dict[str, int] = {}
+        #: Stage name -> attempts abandoned past the per-task timeout.
+        self.stage_timeouts: Dict[str, int] = {}
+        #: Stage name -> attempts lost to dead worker processes.
+        self.stage_tasks_lost: Dict[str, int] = {}
+        #: Stage name -> structured records of every failed attempt.
+        self.stage_errors: Dict[str, List[TaskError]] = {}
+        #: Run-lifetime fault totals (survive ``reset_timings``).
+        self.fault_totals: Dict[str, int] = {
+            "retries": 0,
+            "timeouts": 0,
+            "tasks_lost": 0,
+            "pool_respawns": 0,
+            "task_errors": 0,
+        }
 
     def __repr__(self) -> str:
         cache = "on" if self.cache is not None else "off"
-        return f"ExecutionEngine(jobs={self.jobs}, cache={cache})"
+        return (
+            f"ExecutionEngine(jobs={self.jobs}, cache={cache}, "
+            f"retries={self.retries}, task_timeout={self.task_timeout})"
+        )
 
     # ------------------------------------------------------------------
 
@@ -113,22 +282,33 @@ class ExecutionEngine:
 
         With ``jobs > 1`` and more than one item, work is distributed
         over a fresh process pool; otherwise it runs inline.  ``fn`` and
-        the items must be picklable for the parallel path.
+        the items must be picklable for the parallel path.  Failed
+        attempts are retried up to ``self.retries`` times; a task that
+        exhausts the budget raises :class:`TaskFailedError` with the
+        final :class:`TaskError` attached.
         """
         items = list(items)
         task = _TimedTask(fn, stage)
+        progress = _MapProgress()
         started = time.perf_counter()
         try:
             with obs.span(
                 "engine.map", stage=stage or "", tasks=len(items), jobs=self.jobs
             ):
                 if self.jobs == 1 or len(items) <= 1:
-                    outcomes = [task(item) for item in items]
+                    outcomes = self._map_inline(task, items, progress)
                 else:
-                    outcomes = self._map_parallel(task, items)
+                    outcomes = self._map_parallel(task, items, progress)
         except BaseException:
+            # A failed stage records only the work that actually
+            # finished — precisely known because dispatch is per-task.
             if stage is not None:
-                self.record(stage, time.perf_counter() - started, len(items))
+                self.record(
+                    stage,
+                    time.perf_counter() - started,
+                    progress.completed,
+                    task_seconds=progress.task_seconds or None,
+                )
             raise
         if stage is not None:
             self.record(
@@ -139,13 +319,287 @@ class ExecutionEngine:
             )
         return [result for result, _ in outcomes]
 
-    def _map_parallel(self, fn: Callable[[T], R], items: list[T]) -> list[R]:
-        from concurrent.futures import ProcessPoolExecutor
+    # -- inline dispatch ------------------------------------------------
+
+    def _map_inline(
+        self, task: _TimedTask, items: list, progress: _MapProgress
+    ) -> list:
+        return [
+            self._run_inline(task, item, index, progress)
+            for index, item in enumerate(items)
+        ]
+
+    def _run_inline(
+        self,
+        task: _TimedTask,
+        item,
+        index: int,
+        progress: _MapProgress,
+        first_attempt: int = 0,
+    ):
+        """One task in the parent process, with the same retry contract.
+
+        Also the terminal fallback when the worker pool keeps dying:
+        ``first_attempt`` carries over the attempts already burned in
+        workers so the budget is shared across execution modes.
+        """
+        attempt = first_attempt
+        while True:
+            try:
+                outcome = dataclasses.replace(task, index=index, attempt=attempt)(item)
+            except Exception as error:
+                record = self._record_error(task.stage, index, attempt, "exception", error)
+                if attempt >= self.retries:
+                    raise TaskFailedError(record) from error
+                self._record_retry(task.stage, attempt)
+                attempt += 1
+                continue
+            progress.note(outcome[1])
+            return outcome
+
+    # -- parallel dispatch ----------------------------------------------
+
+    def _map_parallel(
+        self, task: _TimedTask, items: list, progress: _MapProgress
+    ) -> list:
+        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+        from concurrent.futures import TimeoutError as FuturesTimeout
 
         workers = min(self.jobs, len(items))
-        chunksize = max(1, len(items) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items, chunksize=chunksize))
+        outcomes: list = [None] * len(items)
+        done = [False] * len(items)
+        attempts = [0] * len(items)
+        pending = list(range(len(items)))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        respawns_left = 1  # broken-pool budget; then fall back inline
+        abandoned = 0  # futures left running past their timeout
+        try:
+            while pending:
+                futures = {}
+                pool_broken = False
+                for i in pending:
+                    try:
+                        futures[i] = pool.submit(
+                            dataclasses.replace(task, index=i, attempt=attempts[i]),
+                            items[i],
+                        )
+                    except BrokenExecutor:
+                        pool_broken = True
+                        break
+                retried: set = set()
+                wedged = False
+                for i in pending:
+                    future = futures.get(i)
+                    if future is None or pool_broken or wedged:
+                        continue  # resolved by the sweeps below
+                    try:
+                        outcome = future.result(timeout=self.task_timeout)
+                    except FuturesTimeout:
+                        abandoned += 1
+                        record = self._record_error(
+                            task.stage,
+                            i,
+                            attempts[i],
+                            "timeout",
+                            TimeoutError(
+                                f"task exceeded the {self.task_timeout}s task timeout"
+                            ),
+                        )
+                        self._account(self.stage_timeouts, "timeouts", task.stage)
+                        obs.counter("engine.task_timeouts").inc()
+                        if attempts[i] >= self.retries:
+                            raise TaskFailedError(record) from None
+                        # No backoff: we already waited out the timeout.
+                        self._record_retry(task.stage, attempts[i], backoff=False)
+                        attempts[i] += 1
+                        retried.add(i)
+                        if abandoned >= workers:
+                            # Every worker may be wedged on an abandoned
+                            # task; stop charging innocent queued tasks
+                            # with spurious timeouts and respawn now.
+                            wedged = True
+                    except BrokenExecutor:
+                        pool_broken = True
+                    except Exception as error:
+                        record = self._record_error(
+                            task.stage, i, attempts[i], "exception", error
+                        )
+                        if attempts[i] >= self.retries:
+                            raise TaskFailedError(record) from error
+                        self._record_retry(task.stage, attempts[i])
+                        attempts[i] += 1
+                        retried.add(i)
+                    else:
+                        outcomes[i] = outcome
+                        done[i] = True
+                        progress.note(outcome[1])
+                if pool_broken:
+                    retried |= self._sweep_broken_round(
+                        task, futures, pending, retried, done, attempts, outcomes, progress
+                    )
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    abandoned = 0
+                    if respawns_left > 0:
+                        respawns_left -= 1
+                        self.fault_totals["pool_respawns"] += 1
+                        obs.counter("engine.pool_respawns").inc()
+                        pool = ProcessPoolExecutor(max_workers=workers)
+                    else:
+                        # The pool died twice: finish inline, sharing the
+                        # per-task attempt budget already burned.
+                        for i in sorted(retried):
+                            outcomes[i] = self._run_inline(
+                                task, items[i], i, progress, first_attempt=attempts[i]
+                            )
+                            done[i] = True
+                        retried = set()
+                elif wedged:
+                    # Salvage what finished, requeue the rest without a
+                    # retry penalty (they never got a worker), and start
+                    # a fresh pool so the retries can actually schedule.
+                    for i in pending:
+                        if done[i] or i in retried:
+                            continue
+                        future = futures.get(i)
+                        outcome = None
+                        if (
+                            future is not None
+                            and future.done()
+                            and not future.cancelled()
+                        ):
+                            try:
+                                outcome = future.result(timeout=0)
+                            except BrokenExecutor:
+                                outcome = None
+                            except Exception as error:
+                                record = self._record_error(
+                                    task.stage, i, attempts[i], "exception", error
+                                )
+                                if attempts[i] >= self.retries:
+                                    raise TaskFailedError(record) from error
+                                self._record_retry(task.stage, attempts[i])
+                                attempts[i] += 1
+                                retried.add(i)
+                                continue
+                        if outcome is not None:
+                            outcomes[i] = outcome
+                            done[i] = True
+                            progress.note(outcome[1])
+                        else:
+                            retried.add(i)
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                    self.fault_totals["pool_respawns"] += 1
+                    obs.counter("engine.pool_respawns").inc()
+                    abandoned = 0
+                pending = sorted(retried)
+        finally:
+            # Abandoned (timed-out) tasks may still be running; waiting
+            # on them would stall the run for exactly the hang we just
+            # routed around.
+            pool.shutdown(wait=abandoned == 0, cancel_futures=True)
+        return outcomes
+
+    def _sweep_broken_round(
+        self,
+        task: _TimedTask,
+        futures: dict,
+        pending: list,
+        already_retried: set,
+        done: list,
+        attempts: list,
+        outcomes: list,
+        progress: _MapProgress,
+    ) -> set:
+        """Triage a broken pool's round: salvage, classify, requeue.
+
+        Futures that finished before the pool died keep their results;
+        ones that raised a task error burn a retry as usual; everything
+        else was lost with its worker and is re-executed without having
+        produced side effects twice (tasks are pure).  Returns the set
+        of task indices to re-run.
+        """
+        from concurrent.futures import BrokenExecutor
+
+        retried: set = set()
+        for i in pending:
+            if done[i] or i in already_retried:
+                continue
+            future = futures.get(i)
+            if future is None:  # never submitted; retry without penalty
+                retried.add(i)
+                continue
+            outcome = None
+            error: Optional[Exception] = None
+            if future.done() and not future.cancelled():
+                try:
+                    outcome = future.result(timeout=0)
+                except BrokenExecutor:
+                    pass  # lost with its worker
+                except Exception as exc:
+                    error = exc
+            if outcome is not None:
+                outcomes[i] = outcome
+                done[i] = True
+                progress.note(outcome[1])
+                continue
+            if error is not None:
+                kind: str = "exception"
+                cause: Exception = error
+            else:
+                kind = "worker-lost"
+                cause = RuntimeError("worker process died before the task finished")
+                self._account(self.stage_tasks_lost, "tasks_lost", task.stage)
+                obs.counter("engine.tasks_lost").inc()
+            record = self._record_error(task.stage, i, attempts[i], kind, cause)
+            if attempts[i] >= self.retries:
+                raise TaskFailedError(record) from error
+            self._record_retry(task.stage, attempts[i], backoff=False)
+            attempts[i] += 1
+            retried.add(i)
+        return retried
+
+    # -- fault accounting -----------------------------------------------
+
+    def _account(self, per_stage: Dict[str, int], total_key: str, stage: Optional[str]) -> None:
+        key = stage or ""
+        per_stage[key] = per_stage.get(key, 0) + 1
+        self.fault_totals[total_key] += 1
+
+    def _record_retry(
+        self, stage: Optional[str], attempt: int, backoff: bool = True
+    ) -> None:
+        self._account(self.stage_retries, "retries", stage)
+        obs.counter("engine.retries").inc()
+        if backoff and self.backoff_s > 0:
+            time.sleep(min(self.backoff_cap_s, self.backoff_s * (2**attempt)))
+
+    def _record_error(
+        self,
+        stage: Optional[str],
+        index: int,
+        attempt: int,
+        kind: str,
+        error: BaseException,
+    ) -> TaskError:
+        record = TaskError(
+            stage=stage or "",
+            index=index,
+            attempt=attempt,
+            kind=kind,
+            error_type=type(error).__name__,
+            message=str(error),
+            where=_error_where(error),
+        )
+        errors = self.stage_errors.setdefault(stage or "", [])
+        if len(errors) < MAX_RECORDED_ERRORS_PER_STAGE:
+            errors.append(record)
+        self.fault_totals["task_errors"] += 1
+        return record
+
+    def fault_snapshot(self) -> Dict[str, int]:
+        """Run-lifetime fault totals (for the manifest's ``faults`` block)."""
+        return dict(self.fault_totals)
 
     # ------------------------------------------------------------------
 
@@ -174,7 +628,12 @@ class ExecutionEngine:
             stats["count"] += len(task_seconds)
 
     def timings_snapshot(self) -> Dict[str, Dict[str, float]]:
-        """Copy of the accumulated stage timings (for manifests)."""
+        """Copy of the accumulated stage timings (for manifests).
+
+        Stages that saw faults additionally carry ``retries`` /
+        ``timeouts`` / ``tasks_lost`` counters and the structured
+        ``task_errors`` records.
+        """
         snapshot = {}
         for stage in sorted(self.stage_seconds):
             entry = {
@@ -188,10 +647,43 @@ class ExecutionEngine:
                     "mean": round(stats["sum"] / stats["count"], 6),
                     "max": round(stats["max"], 6),
                 }
+            for label, per_stage in (
+                ("retries", self.stage_retries),
+                ("timeouts", self.stage_timeouts),
+                ("tasks_lost", self.stage_tasks_lost),
+            ):
+                if per_stage.get(stage):
+                    entry[label] = per_stage[stage]
+            if self.stage_errors.get(stage):
+                entry["task_errors"] = [
+                    record.as_dict() for record in self.stage_errors[stage]
+                ]
             snapshot[stage] = entry
         return snapshot
 
     def reset_timings(self) -> None:
+        """Clear per-stage records; run-lifetime fault totals persist."""
         self.stage_seconds.clear()
         self.stage_tasks.clear()
         self.stage_task_stats.clear()
+        self.stage_retries.clear()
+        self.stage_timeouts.clear()
+        self.stage_tasks_lost.clear()
+        self.stage_errors.clear()
+
+
+def _error_where(error: BaseException) -> str:
+    """Best-effort location/traceback tail for a task error.
+
+    Exceptions unpickled from workers carry the remote traceback as a
+    ``_RemoteTraceback`` cause; locally raised ones still hold a real
+    ``__traceback__``.
+    """
+    cause = getattr(error, "__cause__", None)
+    if cause is not None and type(cause).__name__ == "_RemoteTraceback":
+        lines = [line for line in str(cause).strip().splitlines() if line.strip()]
+        return "\n".join(lines[-4:])
+    if error.__traceback__ is not None:
+        frame = traceback_module.extract_tb(error.__traceback__)[-1]
+        return f"{frame.filename}:{frame.lineno}"
+    return ""

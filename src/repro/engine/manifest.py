@@ -47,7 +47,10 @@ class RunManifest:
     package_version: str = ""
     #: "ok" | "failed"; failed manifests carry an ``error`` summary.
     status: str = "ok"
-    error: Optional[Dict[str, str]] = None
+    error: Optional[Dict[str, Any]] = None
+    #: Fault-tolerance totals (retries/timeouts/lost tasks/pool respawns)
+    #: folded in by :meth:`finalize`; omitted when the run saw no faults.
+    faults: Optional[Dict[str, int]] = None
     #: Observability summary from :func:`repro.obs.export.summarize`.
     profile: Optional[Dict[str, Any]] = None
 
@@ -70,15 +73,20 @@ class RunManifest:
         }
 
     def finalize(self, engine: ExecutionEngine) -> None:
-        """Fold in the engine's cache statistics (if caching was on)."""
+        """Fold in the engine's cache statistics and fault totals."""
         if engine.cache is not None:
             self.cache = {
                 **engine.cache.info(),
                 **engine.cache.stats.as_dict(),
             }
+        fault_totals = engine.fault_snapshot()
+        if any(fault_totals.values()):
+            self.faults = fault_totals
 
     def mark_failed(self, experiment_id: str, error: BaseException) -> None:
         """Record a mid-run crash so the partial manifest is diagnosable."""
+        from repro.engine.engine import TaskFailedError
+
         self.status = "failed"
         frame = traceback.extract_tb(error.__traceback__)
         location = f"{frame[-1].filename}:{frame[-1].lineno}" if frame else ""
@@ -88,6 +96,10 @@ class RunManifest:
             "message": str(error),
             "where": location,
         }
+        if isinstance(error, TaskFailedError):
+            # The structured record pinpoints which task died, on which
+            # attempt, with the remote traceback tail.
+            self.error["task"] = error.task_error.as_dict()
 
     def as_dict(self) -> Dict[str, Any]:
         out = {
@@ -105,6 +117,8 @@ class RunManifest:
             "experiments": self.experiments,
             "cache": self.cache,
         }
+        if self.faults is not None:
+            out["faults"] = self.faults
         if self.error is not None:
             out["error"] = self.error
         if self.profile is not None:

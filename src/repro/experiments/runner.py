@@ -16,9 +16,14 @@ Each experiment prints the paper table/figure it regenerates.  The CLI
 caches collected traces on disk by default (``--no-cache`` disables,
 ``--cache-dir`` / ``BIGGERFISH_CACHE_DIR`` relocate) and can fan work
 out over worker processes (``--jobs`` / ``BIGGERFISH_JOBS``); parallel
-runs produce bit-identical results to serial ones.  With ``--save-dir``
-a ``run_manifest.json`` records per-stage timings and cache statistics
-next to the rendered tables.
+runs produce bit-identical results to serial ones.  Parallel runs are
+fault-tolerant: failed tasks retry deterministically (``--retries`` /
+``BIGGERFISH_RETRIES``), hung tasks are abandoned past ``--task-timeout``
+(``BIGGERFISH_TASK_TIMEOUT``) and re-executed, and dead worker pools are
+respawned.  With ``--save-dir`` a ``run_manifest.json`` records
+per-stage timings, cache statistics and fault counters (retries,
+timeouts, lost tasks, per-task error records) next to the rendered
+tables.
 
 ``--profile`` (or ``BIGGERFISH_PROFILE=1``) turns on the
 :mod:`repro.obs` observability subsystem: spans and metrics from every
@@ -99,6 +104,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes (default: BIGGERFISH_JOBS or 1 = serial)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="re-execution attempts per failed task "
+        "(default: BIGGERFISH_RETRIES or 2; retries are bit-identical)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abandon and retry a parallel task running longer than this "
+        "(default: BIGGERFISH_TASK_TIMEOUT or no timeout)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -217,8 +237,13 @@ def main(argv: list[str] | None = None) -> int:
     if not args.no_cache:
         cache = TraceCache(args.cache_dir or default_cache_dir())
     try:
-        engine = ExecutionEngine(jobs=args.jobs, cache=cache)
-    except ValueError as error:  # bad --jobs / BIGGERFISH_JOBS value
+        engine = ExecutionEngine(
+            jobs=args.jobs,
+            cache=cache,
+            retries=args.retries,
+            task_timeout=args.task_timeout,
+        )
+    except ValueError as error:  # bad --jobs / --retries / --task-timeout
         print(f"biggerfish: {error}", file=sys.stderr)
         return 2
     ctx = RunContext(scale=scale, seed=args.seed, engine=engine)

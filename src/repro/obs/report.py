@@ -79,6 +79,10 @@ def format_report(
 
     lines.append("")
     lines.extend(_stage_section(summary, manifest))
+    faults_lines = _faults_section(manifest)
+    if faults_lines:
+        lines.append("")
+        lines.extend(faults_lines)
     if summary is not None:
         lines.append("")
         lines.extend(_span_section(summary))
@@ -129,6 +133,40 @@ def _stage_section(summary: Optional[dict], manifest: Optional[dict]) -> List[st
         return ["(no stage timings recorded)"]
     header = ["experiment", "stage", "wall", "tasks", "task min", "mean", "max"]
     return ["per-stage breakdown:", _format_rows(header, rows)]
+
+
+def _faults_section(manifest: Optional[dict]) -> List[str]:
+    """Retry/timeout totals and per-task error records, when any."""
+    if manifest is None:
+        return []
+    faults = manifest.get("faults")
+    lines: List[str] = []
+    if faults:
+        lines.append(
+            "fault tolerance: "
+            f"{faults.get('retries', 0)} retried attempt(s), "
+            f"{faults.get('timeouts', 0)} timeout(s), "
+            f"{faults.get('tasks_lost', 0)} task(s) lost to dead workers, "
+            f"{faults.get('pool_respawns', 0)} pool respawn(s)"
+        )
+    rows: List[List[str]] = []
+    for experiment_id, record in manifest.get("experiments", {}).items():
+        for stage, timing in record.get("stages", {}).items():
+            for error in timing.get("task_errors", []):
+                rows.append(
+                    [
+                        experiment_id,
+                        stage,
+                        str(error.get("index", "?")),
+                        str(error.get("attempt", "?")),
+                        error.get("kind", "?"),
+                        f"{error.get('error_type', '?')}: {error.get('message', '')}"[:80],
+                    ]
+                )
+    if rows:
+        header = ["experiment", "stage", "task", "attempt", "kind", "error"]
+        lines.extend(["task errors:", _format_rows(header, rows)])
+    return lines
 
 
 def _span_section(summary: dict) -> List[str]:

@@ -58,6 +58,20 @@ class TestStableToken:
         with pytest.raises(Uncacheable):
             stable_token(object())
 
+    def test_mixed_key_dict_raises_uncacheable(self):
+        # sorted() cannot order str and int keys; the raw TypeError must
+        # surface as Uncacheable so cache users bypass instead of crash.
+        with pytest.raises(Uncacheable):
+            stable_token({"a": 1, 1: "a"})
+
+    def test_mixed_key_dict_nested_in_dataclass(self):
+        @dataclasses.dataclass
+        class Holder:
+            table: dict
+
+        with pytest.raises(Uncacheable):
+            stable_token(Holder({"a": 1, 2: "b"}))
+
 
 class TestCacheKey:
     def test_stable_across_calls(self):
@@ -192,15 +206,42 @@ class TestCacheInvalidation:
         assert len(trace.counters) > 0
         assert collector.cache.stats.puts == 0
 
+    def test_mixed_key_dict_component_bypasses(self, collector):
+        """A mixed-type-key dict anywhere in a component must mean
+        "uncacheable", not a TypeError escaping into the collector."""
+        from repro.core.collector import NoiseHooks
+
+        @dataclasses.dataclass
+        class MixedKeyInjector:
+            table: dict
+
+            def inject(self, machine, horizon_ns, rng):
+                return []
+
+        noise = NoiseHooks(interrupt_injector=MixedKeyInjector({1: "a", "b": 2}))
+        assert collector._cache_key(profile_for("nytimes.com"), 0, noise) is None
+
 
 class TestCacheMaintenance:
     def test_eviction_respects_cap(self, tmp_path, collector):
         site = profile_for("nytimes.com")
         trace = collector._collect_uncached(site, 0, None)
-        small = TraceCache(tmp_path / "small", max_bytes=1)  # everything evicts
+        small = TraceCache(tmp_path / "small", max_bytes=1)
         small.put("a" * 64, trace)
-        assert small.stats.evictions >= 1
-        assert small.info()["entries"] == 0
+        small.put("b" * 64, trace)
+        # The cap forces the older entry out, but never the entry that
+        # was just written — its caller is about to rely on it.
+        assert small.stats.evictions == 1
+        assert small.info()["entries"] == 1
+        assert small.get("b" * 64) is not None
+
+    def test_just_written_entry_survives_tiny_cap(self, tmp_path, collector):
+        site = profile_for("nytimes.com")
+        trace = collector._collect_uncached(site, 0, None)
+        small = TraceCache(tmp_path / "small", max_bytes=1)
+        small.put("a" * 64, trace)
+        assert small.stats.evictions == 0
+        assert small.get("a" * 64) is not None
 
     def test_info_and_clear(self, cache, collector):
         site = profile_for("nytimes.com")
@@ -214,6 +255,75 @@ class TestCacheMaintenance:
     def test_default_dir_env_override(self, tmp_path, monkeypatch):
         monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path / "elsewhere"))
         assert default_cache_dir() == tmp_path / "elsewhere"
+
+
+class TestCacheAccounting:
+    """Regression tests for the tracked-size bookkeeping in ``put``."""
+
+    def _trace(self, collector):
+        return collector._collect_uncached(profile_for("nytimes.com"), 0, None)
+
+    def _disk_size(self, cache: TraceCache) -> int:
+        return sum(p.stat().st_size for p in sorted(cache.path.glob("*/*.npz")))
+
+    def test_cold_handle_put_does_not_double_count(self, tmp_path, collector):
+        """First put on an unscanned handle: the directory scan already
+        sees the freshly renamed entry, so adding `written` on top
+        double-counted it and triggered premature eviction."""
+        trace = self._trace(collector)
+        warm = TraceCache(tmp_path / "acct")
+        warm.put("a" * 64, trace)
+        warm.put("b" * 64, trace)
+        cold = TraceCache(tmp_path / "acct")  # same dir, unscanned size
+        cold.put("c" * 64, trace)
+        assert cold._size_bytes == self._disk_size(cold)
+        assert cold._size_bytes == cold.info()["size_bytes"]
+
+    def test_repeated_puts_track_disk_size(self, tmp_path, collector):
+        trace = self._trace(collector)
+        cache = TraceCache(tmp_path / "acct")
+        for key in ("a" * 64, "b" * 64, "c" * 64):
+            cache.put(key, trace)
+            assert cache._size_bytes == self._disk_size(cache)
+
+    def test_overwriting_put_does_not_double_count(self, tmp_path, collector):
+        trace = self._trace(collector)
+        cache = TraceCache(tmp_path / "acct")
+        cache.put("a" * 64, trace)
+        cache.put("a" * 64, trace)  # replaces, must not count twice
+        assert cache._size_bytes == self._disk_size(cache)
+
+
+class TestLRUEviction:
+    """Eviction is least-recently-*used*: hits keep entries alive."""
+
+    def test_hot_entry_survives_eviction(self, tmp_path, collector):
+        trace = collector._collect_uncached(profile_for("nytimes.com"), 0, None)
+        probe = TraceCache(tmp_path / "probe")
+        probe.put("0" * 64, trace)
+        entry_size = probe.info()["size_bytes"]
+
+        cache = TraceCache(tmp_path / "lru", max_bytes=int(entry_size * 2.5))
+        cache.put("a" * 64, trace)  # oldest by write order...
+        cache.put("b" * 64, trace)
+        for _ in range(3):  # ...but hottest by use
+            assert cache.get("a" * 64) is not None
+        cache.put("c" * 64, trace)  # over cap: one entry must go
+        assert cache.stats.evictions == 1
+        assert cache.get("a" * 64) is not None, "hot entry was evicted"
+        assert cache.get("c" * 64) is not None, "just-written entry was evicted"
+        assert cache.get("b" * 64) is None, "cold entry should have been evicted"
+
+    def test_hit_refreshes_mtime(self, tmp_path, collector):
+        import os as _os
+
+        trace = collector._collect_uncached(profile_for("nytimes.com"), 0, None)
+        cache = TraceCache(tmp_path / "touch")
+        cache.put("a" * 64, trace)
+        entry = cache._entry_path("a" * 64)
+        _os.utime(entry, (1, 1))  # pretend it is ancient
+        assert cache.get("a" * 64) is not None
+        assert entry.stat().st_mtime > 1
 
 
 class TestEngineCacheIntegration:

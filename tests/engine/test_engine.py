@@ -7,15 +7,40 @@ import pytest
 
 from repro.core.attacker import LoopCountingAttacker
 from repro.core.pipeline import FingerprintingPipeline
-from repro.engine import ExecutionEngine, RunContext, resolve_jobs
-from repro.engine.engine import JOBS_ENV_VAR
+from repro.engine import (
+    ExecutionEngine,
+    RunContext,
+    TaskFailedError,
+    resolve_jobs,
+    resolve_retries,
+    resolve_task_timeout,
+)
+from repro.engine.engine import (
+    JOBS_ENV_VAR,
+    RETRIES_ENV_VAR,
+    TASK_TIMEOUT_ENV_VAR,
+)
+from repro.engine import faults
 from repro.sim.machine import MachineConfig
 from repro.workload.browser import CHROME, LINUX
 from tests.conftest import TINY
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    """These tests assert exact retry/error counts; a CI-level
+    BIGGERFISH_FAULTS plan would skew them (test_faults.py opts in)."""
+    monkeypatch.delenv(faults.FAULTS_ENV_VAR, raising=False)
+
+
 def _square(x: int) -> int:
     """Module-level so it pickles into worker processes."""
+    return x * x
+
+
+def _fail_on_three(x: int) -> int:
+    if x == 3:
+        raise ValueError("three is right out")
     return x * x
 
 
@@ -40,6 +65,51 @@ class TestResolveJobs:
     def test_zero_rejected(self):
         with pytest.raises(ValueError):
             resolve_jobs(0)
+
+
+class TestResolveRetries:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(RETRIES_ENV_VAR, raising=False)
+        assert resolve_retries() == 2
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(RETRIES_ENV_VAR, "5")
+        assert resolve_retries() == 5
+
+    def test_zero_allowed(self):
+        assert resolve_retries(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_retries(-1)
+
+    def test_env_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv(RETRIES_ENV_VAR, "lots")
+        with pytest.raises(ValueError):
+            resolve_retries()
+
+
+class TestResolveTaskTimeout:
+    def test_default_is_no_timeout(self, monkeypatch):
+        monkeypatch.delenv(TASK_TIMEOUT_ENV_VAR, raising=False)
+        assert resolve_task_timeout() is None
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(TASK_TIMEOUT_ENV_VAR, "2.5")
+        assert resolve_task_timeout() == 2.5
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(TASK_TIMEOUT_ENV_VAR, "2.5")
+        assert resolve_task_timeout(9.0) == 9.0
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_task_timeout(0)
+
+    def test_env_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv(TASK_TIMEOUT_ENV_VAR, "forever")
+        with pytest.raises(ValueError):
+            resolve_task_timeout()
 
 
 class TestMap:
@@ -91,9 +161,36 @@ class TestMap:
         engine.reset_timings()
         assert engine.stage_task_stats == {}
 
+    def test_failed_map_records_only_completed_tasks(self):
+        """A failed stage must not claim the whole item count ran —
+        manifests of crashed runs used to overstate work done."""
+        engine = ExecutionEngine(jobs=1, retries=0)
+        with pytest.raises(TaskFailedError) as excinfo:
+            engine.map(_fail_on_three, [0, 1, 2, 3, 4, 5], stage="demo")
+        assert excinfo.value.task_error.index == 3
+        assert excinfo.value.task_error.error_type == "ValueError"
+        snapshot = engine.timings_snapshot()["demo"]
+        assert snapshot["tasks"] == 3  # items 0..2 completed, 3 failed
+        assert snapshot["task_errors"][0]["kind"] == "exception"
+
+    def test_deterministic_failure_exhausts_retries(self):
+        engine = ExecutionEngine(jobs=1, retries=2, backoff_s=0.001)
+        with pytest.raises(TaskFailedError) as excinfo:
+            engine.map(_fail_on_three, [3], stage="demo")
+        assert excinfo.value.task_error.attempt == 2  # 1 try + 2 retries
+        assert engine.stage_retries["demo"] == 2
+        assert engine.fault_totals["retries"] == 2
+
+    def test_original_error_is_chained(self):
+        engine = ExecutionEngine(jobs=1, retries=0)
+        with pytest.raises(TaskFailedError) as excinfo:
+            engine.map(_fail_on_three, [3])
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
 
 class TestRunContext:
-    def test_default_engine_attached(self):
+    def test_default_engine_attached(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
         ctx = RunContext(scale=TINY, seed=7)
         assert ctx.engine is not None
         assert ctx.engine.jobs == 1

@@ -1,0 +1,273 @@
+"""Fault-injection tests: the engine's recovery paths, exercised on purpose.
+
+Every test here asserts the tentpole guarantee from the engine docs: a
+parallel run under injected faults (transient exceptions, hung tasks,
+killed workers) completes **bit-identical** to a clean serial run, and
+the manifest records what went wrong along the way.
+
+Seeds are chosen so ``FaultPlan.decision`` hits a known set of task
+indices; each test recomputes the expectation from the plan instead of
+hard-coding counts, so a hash change fails loudly rather than silently
+testing nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import ExecutionEngine, RunManifest, TaskFailedError
+from repro.engine import faults
+from repro.engine.faults import FaultPlan, InjectedFault
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    """Isolate from any CI-level BIGGERFISH_FAULTS setting."""
+    monkeypatch.delenv(faults.FAULTS_ENV_VAR, raising=False)
+    faults._CACHED = None
+
+
+def _square(x: int) -> int:
+    """Module-level so it pickles into worker processes."""
+    return x * x
+
+
+def _injected_indices(plan: FaultPlan, stage: str, n: int) -> dict:
+    """Mode -> task indices the plan sabotages on the first attempt."""
+    hits: dict = {}
+    for i in range(n):
+        mode = plan.decision(stage, i, 0)
+        if mode:
+            hits.setdefault(mode, []).append(i)
+    return hits
+
+
+class TestFaultPlan:
+    def test_spec_parse_round_trip(self):
+        plan = FaultPlan(
+            rate=0.25, modes=("raise", "kill"), seed=9, max_attempt=3,
+            hang_s=0.5, parent_pid=1234,
+        )
+        assert FaultPlan.parse(plan.spec()) == plan
+
+    def test_parse_defaults(self):
+        assert FaultPlan.parse("rate=0.1") == FaultPlan(rate=0.1)
+
+    def test_parse_rejects_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown fault spec key"):
+            FaultPlan.parse("rate=0.1,chaos=max")
+
+    def test_parse_rejects_malformed_component(self):
+        with pytest.raises(ValueError, match="malformed"):
+            FaultPlan.parse("rate")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate": -0.1},
+            {"rate": 1.5},
+            {"modes": ("raise", "explode")},
+            {"modes": ()},
+            {"max_attempt": 0},
+            {"hang_s": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+    def test_decision_is_deterministic(self):
+        plan = FaultPlan(rate=0.5, modes=("raise", "hang"), seed=4)
+        first = [plan.decision("w", i, 0) for i in range(50)]
+        second = [plan.decision("w", i, 0) for i in range(50)]
+        assert first == second
+        assert any(first)  # rate 0.5 over 50 tasks must hit something
+
+    def test_decision_respects_rate_zero(self):
+        plan = FaultPlan(rate=0.0)
+        assert all(plan.decision("w", i, 0) is None for i in range(20))
+
+    def test_decision_respects_rate_one(self):
+        plan = FaultPlan(rate=1.0)
+        assert all(plan.decision("w", i, 0) == "raise" for i in range(20))
+
+    def test_decision_stops_past_max_attempt(self):
+        plan = FaultPlan(rate=1.0, max_attempt=2)
+        assert plan.decision("w", 0, 0) == "raise"
+        assert plan.decision("w", 0, 1) == "raise"
+        assert plan.decision("w", 0, 2) is None
+
+    def test_seed_changes_targets(self):
+        a = _injected_indices(FaultPlan(rate=0.3, seed=1), "w", 100)
+        b = _injected_indices(FaultPlan(rate=0.3, seed=2), "w", 100)
+        assert a != b
+
+
+class TestActivation:
+    def test_activate_fills_parent_pid_and_exports(self):
+        exported = faults.activate(FaultPlan(rate=0.1))
+        try:
+            assert exported.parent_pid == os.getpid()
+            assert faults.active_plan() == exported
+        finally:
+            faults.deactivate()
+        assert faults.active_plan() is None
+
+    def test_injected_context_restores_env(self):
+        with faults.injected(FaultPlan(rate=0.1)) as plan:
+            assert os.environ[faults.FAULTS_ENV_VAR] == plan.spec()
+        assert faults.FAULTS_ENV_VAR not in os.environ
+
+    def test_maybe_inject_noop_without_plan(self):
+        faults.maybe_inject("w", 0, 0)  # must not raise
+
+
+class TestParentSafety:
+    """kill/hang must degrade to a plain raise in the scheduler process."""
+
+    def test_kill_degrades_to_raise_in_parent(self):
+        with faults.injected(FaultPlan(rate=1.0, modes=("kill",))):
+            with pytest.raises(InjectedFault, match="kill"):
+                faults.maybe_inject("w", 0, 0)
+        # Reaching this line at all proves os._exit did not run.
+
+    def test_hang_does_not_sleep_in_parent(self):
+        with faults.injected(FaultPlan(rate=1.0, modes=("hang",), hang_s=30.0)):
+            started = time.perf_counter()
+            with pytest.raises(InjectedFault, match="hang"):
+                faults.maybe_inject("w", 0, 0)
+            assert time.perf_counter() - started < 1.0
+
+    def test_serial_engine_survives_kill_faults(self):
+        items = list(range(8))
+        engine = ExecutionEngine(jobs=1, backoff_s=0.001)
+        with faults.injected(FaultPlan(rate=1.0, modes=("kill",), seed=5)):
+            results = engine.map(_square, items, stage="w")
+        assert results == [x * x for x in items]
+        assert engine.fault_totals["retries"] == len(items)
+
+
+class TestParallelRecovery:
+    """Injected faults in worker processes; results stay bit-identical."""
+
+    ITEMS = list(range(24))
+    EXPECTED = [x * x for x in range(24)]
+
+    def test_transient_raises_are_retried(self):
+        plan = FaultPlan(rate=0.3, modes=("raise",), seed=3)
+        injected = _injected_indices(plan, "w", len(self.ITEMS))["raise"]
+        assert len(injected) == 7  # seed chosen for a meaningful hit count
+        engine = ExecutionEngine(jobs=2, backoff_s=0.001)
+        with faults.injected(plan):
+            results = engine.map(_square, self.ITEMS, stage="w")
+        assert results == self.EXPECTED
+        assert engine.fault_totals["retries"] == len(injected)
+        assert engine.fault_totals["task_errors"] == len(injected)
+        errors = engine.stage_errors["w"]
+        assert sorted(e.index for e in errors) == injected
+        assert {e.kind for e in errors} == {"exception"}
+        assert {e.error_type for e in errors} == {"InjectedFault"}
+
+    def test_killed_workers_respawn_pool(self):
+        plan = FaultPlan(rate=0.2, modes=("kill",), seed=7)
+        assert _injected_indices(plan, "w", len(self.ITEMS)).get("kill")
+        engine = ExecutionEngine(jobs=2, backoff_s=0.001)
+        with faults.injected(plan):
+            results = engine.map(_square, self.ITEMS, stage="w")
+        assert results == self.EXPECTED
+        assert engine.fault_totals["tasks_lost"] >= 1
+        assert engine.fault_totals["pool_respawns"] == 1
+        assert any(e.kind == "worker-lost" for e in engine.stage_errors["w"])
+
+    @pytest.mark.slow
+    def test_hung_tasks_time_out_and_retry(self):
+        plan = FaultPlan(rate=0.2, modes=("hang",), seed=1, hang_s=1.2)
+        assert _injected_indices(plan, "w", len(self.ITEMS)).get("hang")
+        engine = ExecutionEngine(jobs=2, task_timeout=0.4, backoff_s=0.001)
+        with faults.injected(plan):
+            results = engine.map(_square, self.ITEMS, stage="w")
+        assert results == self.EXPECTED
+        assert engine.fault_totals["timeouts"] >= 1
+        assert engine.stage_timeouts["w"] >= 1
+        assert any(e.kind == "timeout" for e in engine.stage_errors["w"])
+
+    def test_twice_killed_pool_falls_back_inline(self):
+        # rate=1.0 + max_attempt=2 kills every task's first two attempts:
+        # round 1 breaks the pool (respawn), round 2 breaks it again, and
+        # the engine must finish inline, where kill degrades to a raise
+        # that max_attempt has already silenced.
+        plan = FaultPlan(rate=1.0, modes=("kill",), max_attempt=2)
+        items = list(range(4))
+        engine = ExecutionEngine(jobs=2, retries=3, backoff_s=0.001)
+        with faults.injected(plan):
+            results = engine.map(_square, items, stage="w")
+        assert results == [x * x for x in items]
+        assert engine.fault_totals["pool_respawns"] == 1
+        assert engine.fault_totals["tasks_lost"] >= 1
+
+    @pytest.mark.slow
+    def test_combined_faults_bit_identical_with_manifest(self):
+        # One run with all three fault modes live at once.  The kill
+        # usually breaks the pool while hangs are queued, so per-mode
+        # counters are timing-dependent; what is *guaranteed* is the
+        # result and that the manifest saw the faults.
+        plan = FaultPlan(rate=0.35, modes=("raise", "hang", "kill"), seed=31)
+        hits = _injected_indices(plan, "w", len(self.ITEMS))
+        assert set(hits) == {"raise", "hang", "kill"}  # seed covers all modes
+        engine = ExecutionEngine(jobs=4, task_timeout=0.5, backoff_s=0.001)
+        with faults.injected(plan):
+            results = engine.map(_square, self.ITEMS, stage="w")
+        assert results == self.EXPECTED
+        assert engine.fault_totals["retries"] > 0
+
+        manifest = RunManifest(scale="tiny", seed=0, jobs=4)
+        manifest.add_experiment("demo", 1.0, engine.timings_snapshot())
+        manifest.finalize(engine)
+        record = manifest.as_dict()
+        assert record["faults"]["retries"] == engine.fault_totals["retries"]
+        stage = record["experiments"]["demo"]["stages"]["w"]
+        assert stage["tasks"] == len(self.ITEMS)
+        assert stage["task_errors"]  # structured records made it through
+
+    def test_exhausted_budget_raises_task_failed(self):
+        plan = FaultPlan(rate=1.0, modes=("raise",), max_attempt=99)
+        engine = ExecutionEngine(jobs=1, retries=1, backoff_s=0.001)
+        with faults.injected(plan):
+            with pytest.raises(TaskFailedError, match="after 2 attempt"):
+                engine.map(_square, [0], stage="w")
+        assert engine.stage_tasks["w"] == 0  # nothing actually completed
+        assert engine.fault_totals["retries"] == 1
+
+
+class TestPipelineUnderFaults:
+    """The paper pipeline itself, attacked: traces stay bit-identical."""
+
+    @pytest.mark.slow
+    def test_collected_traces_survive_injection(self):
+        from repro.core.collector import TraceCollector
+        from repro.sim.machine import MachineConfig
+        from repro.workload.browser import CHROME, LINUX
+        from repro.workload.website import profile_for
+
+        site = profile_for("nytimes.com")
+
+        def collect(jobs):
+            collector = TraceCollector(
+                MachineConfig(os=LINUX), CHROME,
+                period_ns=10_000_000, seed=3,
+                engine=ExecutionEngine(jobs=jobs, backoff_s=0.001),
+            )
+            return collector.collect_traces(site, 6)
+
+        clean = collect(1)
+        plan = FaultPlan(rate=0.4, modes=("raise",), seed=2)
+        assert _injected_indices(plan, "collect", 6)  # plan does hit tasks
+        with faults.injected(plan):
+            faulty = collect(2)
+        for a, b in zip(clean, faulty):
+            np.testing.assert_array_equal(a.counters, b.counters)
+            np.testing.assert_array_equal(a.observed_starts, b.observed_starts)

@@ -8,6 +8,7 @@ from unittest import mock
 import pytest
 
 from repro.engine import ExecutionEngine, TraceCache
+from repro.engine.engine import TaskError, TaskFailedError
 from repro.engine.manifest import MANIFEST_FILENAME, RunManifest
 
 
@@ -62,6 +63,46 @@ class TestAsDict:
         manifest = _manifest()
         manifest.finalize(ExecutionEngine(jobs=1, cache=None))
         assert manifest.as_dict()["cache"] is None
+
+
+class TestFaults:
+    def test_finalize_omits_faults_when_clean(self):
+        manifest = _manifest()
+        manifest.finalize(ExecutionEngine(jobs=1))
+        assert "faults" not in manifest.as_dict()
+
+    def test_finalize_folds_fault_totals(self):
+        engine = ExecutionEngine(jobs=1)
+        engine.fault_totals["retries"] = 3
+        engine.fault_totals["timeouts"] = 1
+        manifest = _manifest()
+        manifest.finalize(engine)
+        out = manifest.as_dict()
+        assert out["faults"]["retries"] == 3
+        assert out["faults"]["timeouts"] == 1
+        assert json.loads(json.dumps(out)) == out  # stays JSON-serializable
+
+    def test_mark_failed_attaches_task_record(self):
+        record = TaskError(
+            stage="collect", index=4, attempt=2, kind="timeout",
+            error_type="TimeoutError", message="too slow",
+        )
+        manifest = _manifest()
+        try:
+            raise TaskFailedError(record)
+        except TaskFailedError as exc:
+            manifest.mark_failed("table1", exc)
+        out = manifest.as_dict()
+        assert out["status"] == "failed"
+        assert out["error"]["type"] == "TaskFailedError"
+        assert out["error"]["task"]["index"] == 4
+        assert out["error"]["task"]["attempt"] == 2
+        assert out["error"]["task"]["kind"] == "timeout"
+
+    def test_plain_failure_has_no_task_record(self):
+        manifest = _manifest()
+        manifest.mark_failed("table1", ValueError("boom"))
+        assert "task" not in manifest.as_dict()["error"]
 
 
 class TestMarkFailed:

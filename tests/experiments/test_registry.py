@@ -160,7 +160,7 @@ class TestSaveDir:
         save = tmp_path / "out"
         assert runner.main(
             [
-                "fig7", "--scale", "smoke", "--seed", "6",
+                "fig7", "--scale", "smoke", "--seed", "6", "--jobs", "1",
                 "--save-dir", str(save),
                 "--cache-dir", str(tmp_path / "cache"),
             ]

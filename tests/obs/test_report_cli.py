@@ -9,7 +9,9 @@ from repro.obs.export import Profile, write_profile
 from repro.obs.report import report_command
 
 
-def _make_run_dir(tmp_path, status="ok", with_profile=True, with_manifest=True):
+def _make_run_dir(
+    tmp_path, status="ok", with_profile=True, with_manifest=True, with_faults=False
+):
     """A hand-built run directory with fixed timestamps and sizes."""
     run_dir = tmp_path / "run"
     run_dir.mkdir()
@@ -59,6 +61,23 @@ def _make_run_dir(tmp_path, status="ok", with_profile=True, with_manifest=True):
             },
             "cache": {"hits": 3, "misses": 1, "puts": 1, "evictions": 0},
         }
+        if with_faults:
+            manifest["faults"] = {
+                "retries": 2, "timeouts": 1, "tasks_lost": 0,
+                "pool_respawns": 0, "task_errors": 2,
+            }
+            manifest["experiments"]["table1"]["stages"]["collect"]["task_errors"] = [
+                {
+                    "stage": "collect", "index": 3, "attempt": 0,
+                    "kind": "exception", "error_type": "InjectedFault",
+                    "message": "injected raise fault", "where": "faults.py:1",
+                },
+                {
+                    "stage": "collect", "index": 1, "attempt": 1,
+                    "kind": "timeout", "error_type": "TimeoutError",
+                    "message": "task exceeded the 0.5s task timeout", "where": "",
+                },
+            ]
         if status == "failed":
             manifest["error"] = {
                 "experiment": "table1",
@@ -94,6 +113,28 @@ class TestReportCommand:
         assert lines[-1] == (
             "cache: 3 hit(s), 1 miss(es), 1 put(s), 0 eviction(s) (75.0% hit rate)"
         )
+
+    def test_clean_run_has_no_faults_section(self, tmp_path):
+        run_dir = _make_run_dir(tmp_path)
+        _, text = report_command(str(run_dir))
+        assert "fault tolerance:" not in text
+        assert "task errors:" not in text
+
+    def test_faults_section_rendered(self, tmp_path):
+        run_dir = _make_run_dir(tmp_path, with_faults=True)
+        code, text = report_command(str(run_dir))
+        assert code == 0
+        assert (
+            "fault tolerance: 2 retried attempt(s), 1 timeout(s), "
+            "0 task(s) lost to dead workers, 0 pool respawn(s)" in text
+        )
+        assert "task errors:" in text
+        lines = text.splitlines()
+        error_row = next(line for line in lines if "InjectedFault" in line)
+        for cell in ("table1", "collect", "3", "exception"):
+            assert cell in error_row
+        timeout_row = next(line for line in lines if "TimeoutError" in line)
+        assert "timeout" in timeout_row
 
     def test_failed_run_surfaces_error(self, tmp_path):
         run_dir = _make_run_dir(tmp_path, status="failed")
