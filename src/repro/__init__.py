@@ -49,7 +49,10 @@ from repro.workload import (
     profile_for,
 )
 
-__version__ = "1.0.0"
+# 1.1.0: batched (vectorized) interrupt synthesis changed the RNG draw
+# order, so traces differ from 1.0.x; the version participates in trace
+# cache keys, which invalidates stale cached traces automatically.
+__version__ = "1.1.0"
 
 __all__ = [
     "CacheStats", "ExecutionEngine", "RunContext", "RunManifest", "TraceCache",

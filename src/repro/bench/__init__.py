@@ -1,0 +1,58 @@
+"""Performance-regression harness: ``biggerfish bench``.
+
+The ROADMAP's north star is a system that runs as fast as the hardware
+allows; this package is how the repo *knows* whether that is still true.
+It runs named, seeded benchmark scenarios (trace synthesis, feature
+extraction, an end-to-end Table 1 smoke), records wall/CPU time plus
+:mod:`repro.obs` span and counter snapshots as schema-versioned JSON
+under ``benchmarks/results/``, and compares runs against a recorded
+baseline with a noise-aware threshold so CI can flag perf regressions
+before they merge:
+
+* :mod:`repro.bench.scenarios` — the scenario registry.  Every scenario
+  is a pure function of its seed, so two runs on the same machine do
+  the same work and their times are comparable;
+* :mod:`repro.bench.harness`  — warmup/repeat measurement loop, plus
+  one extra *untimed* instrumented repetition that captures obs
+  counters and span aggregates (timed reps always run with profiling
+  off, matching the repo's convention that recorded numbers exclude
+  observability overhead);
+* :mod:`repro.bench.results`  — ``bench_<label>.json`` reading/writing
+  with an explicit schema version and hard validation errors;
+* :mod:`repro.bench.compare`  — baseline comparison.  A scenario
+  regresses when its best time exceeds the baseline's by more than
+  ``max(--threshold, noise_factor x observed CV)``, so noisy scenarios
+  get a proportionally wider band instead of flapping;
+* :mod:`repro.bench.cli`      — the ``biggerfish bench`` command
+  (``python -m repro.bench`` works too).
+
+The first optimization this harness certified is the vectorized
+:class:`~repro.sim.machine.InterruptSynthesizer` (see
+``benchmarks/results/bench_prevec.json`` vs ``bench_postvec.json``).
+"""
+
+from repro.bench.compare import ComparisonReport, ScenarioComparison, compare_reports
+from repro.bench.harness import BenchConfig, run_bench
+from repro.bench.results import (
+    SCHEMA_VERSION,
+    BenchFormatError,
+    BenchReport,
+    ScenarioRecord,
+)
+from repro.bench.scenarios import SCENARIOS, Scenario, get_scenario, list_scenarios
+
+__all__ = [
+    "SCENARIOS",
+    "SCHEMA_VERSION",
+    "BenchConfig",
+    "BenchFormatError",
+    "BenchReport",
+    "ComparisonReport",
+    "Scenario",
+    "ScenarioComparison",
+    "ScenarioRecord",
+    "compare_reports",
+    "get_scenario",
+    "list_scenarios",
+    "run_bench",
+]

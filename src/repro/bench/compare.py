@@ -1,0 +1,159 @@
+"""Baseline comparison with a noise-aware regression threshold.
+
+The comparison statistic is each scenario's *best* (minimum) wall time:
+for CPU-bound deterministic work the minimum is the least-noisy estimate
+of the true cost — everything above it is scheduler and cache-state
+noise.  A scenario **regresses** when
+
+    candidate_best > baseline_best * (1 + effective_threshold)
+
+where ``effective_threshold = max(threshold, noise_factor * cv)`` and
+``cv`` is the larger coefficient of variation of the two runs: scenarios
+that measure noisily earn a proportionally wider band instead of
+flapping CI.  A candidate exactly *at* the threshold passes — the bound
+is strict.
+
+Scenario-set drift is reported explicitly: a scenario present in the
+baseline but absent from the candidate is a failure (coverage loss, or a
+typo in ``--scenarios``); a scenario new in the candidate is informational.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.bench.results import BenchReport, ScenarioRecord
+
+#: Relative slowdown tolerated before a scenario counts as regressed.
+DEFAULT_THRESHOLD = 0.10
+#: Multiplier widening the band for noisy scenarios.
+DEFAULT_NOISE_FACTOR = 3.0
+
+
+@dataclass(frozen=True)
+class ScenarioComparison:
+    """Verdict for one scenario name across two reports."""
+
+    name: str
+    status: str  # "ok" | "faster" | "regressed" | "added" | "missing"
+    ratio: float = 1.0
+    baseline_best_s: float = 0.0
+    candidate_best_s: float = 0.0
+    threshold: float = 0.0
+
+    def describe(self) -> str:
+        if self.status == "added":
+            return f"{self.name}: added (no baseline entry; {self.candidate_best_s:.4f}s)"
+        if self.status == "missing":
+            return f"{self.name}: MISSING from candidate (baseline {self.baseline_best_s:.4f}s)"
+        arrow = {
+            "ok": "~",
+            "faster": "improved",
+            "regressed": "REGRESSED",
+        }[self.status]
+        return (
+            f"{self.name}: {arrow} {self.baseline_best_s:.4f}s -> "
+            f"{self.candidate_best_s:.4f}s (x{self.ratio:.2f}, "
+            f"threshold +{self.threshold * 100:.0f}%)"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """All per-scenario verdicts plus the overall pass/fail."""
+
+    rows: List[ScenarioComparison] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[ScenarioComparison]:
+        return [r for r in self.rows if r.status == "regressed"]
+
+    @property
+    def missing(self) -> List[ScenarioComparison]:
+        return [r for r in self.rows if r.status == "missing"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+    def format_table(self) -> str:
+        lines = [row.describe() for row in self.rows]
+        verdict = "PASS" if self.ok else (
+            f"FAIL ({len(self.regressions)} regression(s), "
+            f"{len(self.missing)} missing scenario(s))"
+        )
+        lines.append(f"bench compare: {verdict}")
+        return "\n".join(lines)
+
+
+def _effective_threshold(
+    baseline: ScenarioRecord,
+    candidate: ScenarioRecord,
+    threshold: float,
+    noise_factor: float,
+) -> float:
+    return max(threshold, noise_factor * max(baseline.cv, candidate.cv))
+
+
+def compare_reports(
+    baseline: BenchReport,
+    candidate: BenchReport,
+    threshold: float = DEFAULT_THRESHOLD,
+    noise_factor: float = DEFAULT_NOISE_FACTOR,
+) -> ComparisonReport:
+    """Compare two bench reports scenario by scenario."""
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    if noise_factor < 0:
+        raise ValueError(f"noise_factor must be >= 0, got {noise_factor}")
+    rows: List[ScenarioComparison] = []
+    names = sorted(set(baseline.scenarios) | set(candidate.scenarios))
+    for name in names:
+        base = baseline.scenarios.get(name)
+        cand = candidate.scenarios.get(name)
+        if base is None:
+            rows.append(
+                ScenarioComparison(
+                    name=name, status="added", candidate_best_s=cand.best_s
+                )
+            )
+            continue
+        if cand is None:
+            rows.append(
+                ScenarioComparison(
+                    name=name, status="missing", baseline_best_s=base.best_s
+                )
+            )
+            continue
+        effective = _effective_threshold(base, cand, threshold, noise_factor)
+        ratio = cand.best_s / base.best_s if base.best_s > 0 else float("inf")
+        if ratio > 1.0 + effective:
+            status = "regressed"
+        elif ratio < 1.0 - effective:
+            status = "faster"
+        else:
+            status = "ok"
+        rows.append(
+            ScenarioComparison(
+                name=name,
+                status=status,
+                ratio=ratio,
+                baseline_best_s=base.best_s,
+                candidate_best_s=cand.best_s,
+                threshold=effective,
+            )
+        )
+    return ComparisonReport(rows=rows)
+
+
+def speedup_summary(
+    baseline: BenchReport, candidate: BenchReport
+) -> Dict[str, float]:
+    """``{scenario: baseline_best / candidate_best}`` for shared scenarios."""
+    out: Dict[str, float] = {}
+    for name in sorted(set(baseline.scenarios) & set(candidate.scenarios)):
+        cand_best = candidate.scenarios[name].best_s
+        if cand_best > 0:
+            out[name] = baseline.scenarios[name].best_s / cand_best
+    return out

@@ -1,0 +1,132 @@
+"""The measurement loop behind ``biggerfish bench``.
+
+Timing discipline:
+
+* every scenario gets ``warmup`` untimed repetitions (JIT-less Python
+  still benefits: allocator warmup, import side effects, CPU governor
+  ramp), then ``repeat`` timed ones recording wall and CPU seconds;
+* timed repetitions run with profiling **off** — recorded numbers
+  exclude observability overhead, matching EXPERIMENTS.md's convention;
+* one extra *untimed* repetition runs with :mod:`repro.obs` enabled
+  into a throwaway spool, and its counter values and per-span-name
+  aggregates are attached to the record's ``obs`` block.  That is what
+  ties a slow number back to *what* got slower (events processed,
+  span breakdown) without contaminating the measurement.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro import obs
+from repro.bench.results import BenchReport, ScenarioRecord
+from repro.bench.scenarios import Scenario, get_scenario, list_scenarios
+
+#: Default repetition counts (CLI flags override).
+DEFAULT_WARMUP = 1
+DEFAULT_REPEAT = 5
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Knobs for one bench invocation."""
+
+    warmup: int = DEFAULT_WARMUP
+    repeat: int = DEFAULT_REPEAT
+    seed: int = 0
+    #: Skip the instrumented extra repetition (faster, loses ``obs``).
+    instrument: bool = True
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+        if self.repeat < 1:
+            raise ValueError(f"repeat must be >= 1, got {self.repeat}")
+        if self.seed < 0:
+            raise ValueError(f"seed must be non-negative, got {self.seed}")
+
+
+def run_scenario(scenario: Scenario, config: BenchConfig) -> ScenarioRecord:
+    """Measure one scenario: warmups, timed repeats, obs snapshot."""
+    work = scenario.setup(config.seed)
+    for _ in range(config.warmup):
+        work()
+    wall: list[float] = []
+    cpu: list[float] = []
+    meta: dict = {}
+    for _ in range(config.repeat):
+        t0 = time.perf_counter()
+        c0 = time.process_time()
+        meta = work() or {}
+        cpu.append(time.process_time() - c0)
+        wall.append(time.perf_counter() - t0)
+    snapshot = _instrumented_snapshot(work) if config.instrument else {}
+    return ScenarioRecord(
+        name=scenario.name,
+        description=scenario.description,
+        scale=scenario.scale,
+        seed=config.seed,
+        warmup=config.warmup,
+        repeat=config.repeat,
+        wall_s=wall,
+        cpu_s=cpu,
+        meta=meta,
+        obs=snapshot,
+    )
+
+
+def _instrumented_snapshot(work) -> Dict[str, dict]:
+    """One extra untimed repetition under obs, reduced to counters+spans.
+
+    Skipped (returning ``{}``) when profiling is already active — the
+    harness must not tear down an outer ``--profile`` session.
+    """
+    if obs.enabled():
+        return {}
+    from repro.obs.export import merge_spool, summarize
+
+    with tempfile.TemporaryDirectory(prefix="biggerfish-bench-obs-") as spool:
+        obs.enable(spool)
+        try:
+            work()
+            obs.flush_metrics()
+            profile = merge_spool(spool)
+        finally:
+            obs.disable()
+    summary = summarize(profile, top_n=3)
+    spans = {
+        name: {"count": entry["count"], "wall_s": entry["wall_s"]}
+        for name, entry in summary["spans"].items()
+    }
+    return {"counters": profile.metrics.get("counters", {}), "spans": spans}
+
+
+def run_bench(
+    names: Optional[Iterable[str]] = None,
+    config: Optional[BenchConfig] = None,
+    label: str = "run",
+    progress=None,
+) -> BenchReport:
+    """Run the named scenarios (default: all) into a :class:`BenchReport`.
+
+    ``progress`` is an optional ``callable(str)`` used by the CLI to
+    narrate long runs; pass ``print`` for immediate feedback.
+    """
+    config = config or BenchConfig()
+    wanted = list(names) if names else list_scenarios()
+    records: Dict[str, ScenarioRecord] = {}
+    for name in wanted:
+        scenario = get_scenario(name)
+        if progress is not None:
+            progress(f"bench: {name} ({scenario.description})")
+        record = run_scenario(scenario, config)
+        if progress is not None:
+            progress(
+                f"bench: {name} best {record.best_s * 1e3:.1f} ms, "
+                f"median {record.median_s * 1e3:.1f} ms over {config.repeat} run(s)"
+            )
+        records[name] = record
+    return BenchReport(label=label, scenarios=records)

@@ -1,0 +1,184 @@
+"""Named, seeded benchmark scenarios.
+
+A scenario is a pure function of its seed: ``setup(seed)`` does every
+piece of untimed preparation (site profiles, pre-generated timelines,
+synthetic datasets) and returns a zero-argument ``work()`` callable that
+the harness times.  ``work()`` returns a small dict of facts about the
+work it did (event counts, dataset shapes) which lands in the result
+JSON's ``meta`` block — a cheap sanity check that two runs being
+compared really did the same thing.
+
+The default registry covers the three layers the ROADMAP cares about:
+
+* ``sim.synthesize``   — the interrupt-synthesis hot path (the component
+  PR 5 vectorized), at the ``custom`` scale: four 12-second nytimes.com
+  loads per repetition;
+* ``ml.features``      — feature extraction + standardization for the
+  fast classifier backend;
+* ``e2e.table1_smoke`` — the Chrome/Linux cell of Table 1 end to end
+  (collect → features → cross-validated accuracy) at a tiny scale,
+  serial and cache-less so the measurement is pure compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.config import DEFAULT, Scale
+
+#: The scale label recorded for the synthesis scenario (a DEFAULT
+#: variant with longer traces, mirroring `generate_experiments.py`'s
+#: naming for overridden scales).
+CUSTOM_SCALE: Scale = DEFAULT.with_(name="custom", trace_seconds=12.0)
+
+#: Tiny end-to-end scale: small enough for CI, big enough to exercise
+#: collection, feature extraction and cross-validation together.
+E2E_SCALE: Scale = Scale(
+    name="bench-tiny",
+    n_sites=4,
+    traces_per_site=4,
+    trace_seconds=2.0,
+    period_ms=10.0,
+    n_folds=2,
+    backend="feature",
+    open_world_sites=10,
+)
+
+#: Loads synthesized per repetition of ``sim.synthesize``.
+_SYNTH_LOADS = 4
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named benchmark: untimed ``setup(seed)`` -> timed ``work()``."""
+
+    name: str
+    description: str
+    scale: str
+    setup: Callable[[int], Callable[[], dict]]
+
+
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    if scenario.name in SCENARIOS:
+        raise ValueError(f"duplicate scenario name {scenario.name!r}")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def list_scenarios() -> List[str]:
+    """Registered scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(list_scenarios())
+        raise KeyError(f"unknown scenario {name!r} (known: {known})") from None
+
+
+# ----------------------------------------------------------------------
+# scenario implementations
+
+
+def _setup_synthesize(seed: int) -> Callable[[], dict]:
+    from repro.sim.events import SEC
+    from repro.sim.machine import InterruptSynthesizer, MachineConfig
+    from repro.workload.website import profile_for
+
+    site = profile_for("nytimes.com")
+    synthesizer = InterruptSynthesizer(MachineConfig())
+    horizon_ns = int(CUSTOM_SCALE.trace_seconds * SEC)
+    gen_rng = np.random.default_rng([seed, 0xB1F])
+    timelines = [
+        site.generate_load(gen_rng, horizon_ns) for _ in range(_SYNTH_LOADS)
+    ]
+
+    def work() -> dict:
+        events = 0
+        for index, timeline in enumerate(timelines):
+            run = synthesizer.synthesize(
+                timeline,
+                style=site.style,
+                rng=np.random.default_rng([seed, 0x5EED, index]),
+            )
+            events += sum(len(core.arrivals) for core in run.cores)
+        return {"loads": len(timelines), "events": events}
+
+    return work
+
+
+def _setup_features(seed: int) -> Callable[[], dict]:
+    from repro.ml.features import FeatureExtractor, Standardizer
+
+    rng = np.random.default_rng([seed, 0xFEA7])
+    x = rng.normal(loc=25_000.0, scale=1_500.0, size=(96, 1_500))
+    extractor = FeatureExtractor()
+
+    def work() -> dict:
+        features = extractor.transform(x)
+        Standardizer().fit_transform(features)
+        return {"traces": x.shape[0], "features": features.shape[1]}
+
+    return work
+
+
+def _setup_table1_smoke(seed: int) -> Callable[[], dict]:
+    from repro.core.pipeline import FingerprintingPipeline
+    from repro.sim.machine import MachineConfig
+    from repro.workload.browser import CHROME
+
+    def work() -> dict:
+        # The pipeline owns a collector seeded from `seed`; rebuild it
+        # per repetition so repeated measurements stay independent and
+        # cache-less (no engine, no TraceCache attached).
+        pipeline = FingerprintingPipeline(
+            MachineConfig(), CHROME, scale=E2E_SCALE, seed=seed
+        )
+        result = pipeline.run_closed_world()
+        return {
+            "sites": E2E_SCALE.n_sites,
+            "traces_per_site": E2E_SCALE.traces_per_site,
+            "top1_pct": round(100.0 * result.top1.mean, 2),
+        }
+
+    return work
+
+
+register(
+    Scenario(
+        name="sim.synthesize",
+        description=(
+            f"InterruptSynthesizer.synthesize over {_SYNTH_LOADS} x "
+            f"{CUSTOM_SCALE.trace_seconds:g}s nytimes.com loads"
+        ),
+        scale=CUSTOM_SCALE.name,
+        setup=_setup_synthesize,
+    )
+)
+register(
+    Scenario(
+        name="ml.features",
+        description="FeatureExtractor.transform + Standardizer on 96x1500 traces",
+        scale="n/a",
+        setup=_setup_features,
+    )
+)
+register(
+    Scenario(
+        name="e2e.table1_smoke",
+        description=(
+            "Table 1's Chrome/Linux cell end to end (collect + features + "
+            "2-fold CV) at a tiny scale, serial, cache-less"
+        ),
+        scale=E2E_SCALE.name,
+        setup=_setup_table1_smoke,
+    )
+)

@@ -11,6 +11,7 @@ Usage::
     biggerfish cache clear
     biggerfish report out/
     biggerfish lint src/ tests/ --format json
+    biggerfish bench --compare benchmarks/results/bench_main.json
 
 Each experiment prints the paper table/figure it regenerates.  The CLI
 caches collected traces on disk by default (``--no-cache`` disables,
@@ -34,8 +35,12 @@ changes results — a profiled run's tables are bit-identical.
 
 ``biggerfish lint`` runs the :mod:`repro.lint` determinism linter
 (seeded-RNG plumbing, simulated-time-only simulation code, order-stable
-iteration); it has its own argument parser — see ``biggerfish lint
---help``.
+iteration); ``biggerfish bench`` runs the :mod:`repro.bench`
+perf-regression harness (seeded scenarios, ``bench_*.json`` results,
+``--compare BASELINE`` exits nonzero on regression).  Both own their
+argument grammar — see ``biggerfish lint --help`` / ``biggerfish bench
+--help``.  The full flag and environment-variable reference lives in
+``docs/CLI.md``.
 """
 
 from __future__ import annotations
@@ -94,7 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment ids (e.g. table1 fig5), 'all', or a subcommand: "
             "'cache info' / 'cache clear' / 'report <run-dir>' / "
-            "'lint [paths]'"
+            "'lint [paths]' / 'bench [scenarios]'"
         ),
     )
     parser.add_argument("--scale", choices=sorted(SCALES), default="default")
@@ -221,6 +226,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "bench":
+        # Same deal for the perf-regression harness (--repeat, --compare).
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiments and args.experiments[0] == "cache":
         return _cache_command(args)

@@ -1,4 +1,20 @@
-"""Label encoding utilities."""
+"""Label encoding: stable string-label ↔ integer-index mapping.
+
+Website names are the class labels everywhere in the pipeline; the
+classifiers want contiguous integer indices.  :class:`LabelEncoder`
+assigns indices by *sorted* label order — never first-seen order — so
+the mapping is a pure function of the label set and identical across
+folds, worker processes and runs (the determinism invariant the rest of
+the repo is built on).
+
+>>> encoder = LabelEncoder()
+>>> encoder.fit_transform(["nytimes.com", "amazon.com", "nytimes.com"]).tolist()
+[1, 0, 1]
+>>> encoder.classes
+['amazon.com', 'nytimes.com']
+>>> encoder.inverse([0, 1])
+['amazon.com', 'nytimes.com']
+"""
 
 from __future__ import annotations
 

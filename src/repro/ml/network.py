@@ -1,4 +1,20 @@
-"""Sequential network container."""
+"""Sequential network container: the spine of the paper's CNN+LSTM.
+
+:class:`Sequential` chains :class:`~repro.ml.layers.Layer` objects,
+fuses them with :class:`~repro.ml.losses.SoftmaxCrossEntropy`, and
+exposes the flat ``{(layer_index, name): array}`` parameter/gradient
+dicts the optimizers consume.  ``snapshot()``/``restore()`` give the
+trainer its early-stopping rollback ("train until validation accuracy
+starts decreasing", §4.1) without any serialization machinery.
+
+>>> import numpy as np
+>>> from repro.ml.layers import Dense
+>>> net = Sequential([Dense(3, 2, rng=np.random.default_rng(0))])
+>>> net.predict_proba(np.zeros((4, 3))).shape
+(4, 2)
+>>> saved = net.snapshot()
+>>> net.restore(saved)   # parameters written back in place
+"""
 
 from __future__ import annotations
 

@@ -97,11 +97,30 @@ class TurboGovernor:
 
     def ghz_for_load(self, load: float) -> float:
         """Turbo frequency for a given (noise-free) system load."""
+        return float(self.ghz_for_loads(np.asarray(load, dtype=np.float64)))
+
+    def ghz_for_loads(self, loads: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`ghz_for_load` over an array of loads."""
         cfg = self.config
         span = cfg.max_ghz - cfg.min_ghz
-        raw = cfg.max_ghz - cfg.turbo_droop * span * float(np.clip(load, 0.0, 1.0))
-        binned = round(raw / cfg.bin_ghz) * cfg.bin_ghz
-        return float(np.clip(binned, cfg.min_ghz, cfg.max_ghz))
+        raw = cfg.max_ghz - cfg.turbo_droop * span * np.clip(loads, 0.0, 1.0)
+        binned = np.round(raw / cfg.bin_ghz) * cfg.bin_ghz
+        return np.clip(binned, cfg.min_ghz, cfg.max_ghz)
+
+    def _sample_loads(self, load_at, starts: np.ndarray) -> np.ndarray:
+        """Evaluate ``load_at`` over ``starts``, vectorized when possible.
+
+        ``load_at`` may be an array-aware callable (e.g.
+        ``ActivityTimeline.load_at_array``) or a plain scalar function;
+        scalar-only callables fall back to a per-sample loop.
+        """
+        try:
+            loads = np.asarray(load_at(starts), dtype=np.float64)
+        except (TypeError, ValueError):
+            loads = None
+        if loads is not None and loads.shape == starts.shape:
+            return loads
+        return np.array([float(load_at(float(t))) for t in starts])
 
     def run(self, load_at, horizon_ns: int, rng: np.random.Generator) -> FrequencyTrace:
         """Produce the frequency schedule for ``[0, horizon_ns)``."""
@@ -110,10 +129,9 @@ class TurboGovernor:
         if not self.config.scaling_enabled:
             return FrequencyTrace(np.array([0.0]), np.array([self.config.pinned_ghz]))
         starts = np.arange(0, horizon_ns, self.config.governor_interval_ns, dtype=np.float64)
-        loads = np.array([load_at(float(t)) for t in starts])
+        loads = self._sample_loads(load_at, starts)
         loads = np.clip(loads + rng.normal(0.0, self.config.load_noise, len(starts)), 0.0, 1.0)
-        ghz = np.array([self.ghz_for_load(l) for l in loads])
-        return FrequencyTrace(starts, ghz)
+        return FrequencyTrace(starts, self.ghz_for_loads(loads))
 
 
 @dataclass

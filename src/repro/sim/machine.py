@@ -84,6 +84,11 @@ _BURST_RATE_SCALE = 2.0
 #: Rate of Turbo Boost transition stalls per core when enabled.
 _TURBO_ARTIFACT_RATE_HZ = 220.0
 
+#: Stable interrupt-type ordering for grouped duration sampling: batched
+#: generation draws one latency sample per *type* rather than per burst,
+#: and the groups must be visited in a deterministic order.
+_TYPE_ORDER: dict[InterruptType, int] = {t: i for i, t in enumerate(InterruptType)}
+
 #: Attacker-observable cache occupancy (see _distort_occupancy): the
 #: victim's nominal occupancy is capped by the sweeping attacker's own
 #: re-claims (residency), scaled by a per-run gain, and buried in
@@ -245,7 +250,9 @@ class InterruptSynthesizer:
             span.set(events=n_events)
 
             cores = [self._build_core(batches) for batches in per_core]
-            frequency = self._governor.run(timeline.load_at, timeline.horizon_ns, rng)
+            frequency = self._governor.run(
+                timeline.load_at_array, timeline.horizon_ns, rng
+            )
             occ_times, occ_nominal = timeline.occupancy_curve()
             occ_victim, occ_ambient = self._distort_occupancy(occ_nominal, rng)
         return MachineRun(
@@ -286,16 +293,17 @@ class InterruptSynthesizer:
         return victim, ambient
 
     def _build_core(self, batches: list[InterruptBatch]) -> CoreTimeline:
-        transformed = [
-            InterruptBatch(
-                itype=b.itype,
-                times=b.times,
-                durations=self.config.vm.transform_durations(b.durations),
-                cause=b.cause,
-            )
-            for b in batches
-        ]
-        return CoreTimeline.from_batches(transformed)
+        if self.config.vm.enabled:
+            batches = [
+                InterruptBatch(
+                    itype=b.itype,
+                    times=b.times,
+                    durations=self.config.vm.transform_durations(b.durations),
+                    cause=b.cause,
+                )
+                for b in batches
+            ]
+        return CoreTimeline.from_batches(batches)
 
     def _next_tick(
         self, t: np.ndarray, core: np.ndarray, tick_phases: np.ndarray
@@ -332,6 +340,10 @@ class InterruptSynthesizer:
         With ``ripple_hz`` set, arrivals concentrate in the on-phase of
         an on/off pulse train (packet trains, frame cadence); the mean
         rate over the burst is unchanged.
+
+        This is the single-burst reference implementation; the synthesis
+        hot path uses :meth:`_poisson_times_batch`, which draws the same
+        distribution for many bursts at once.
         """
         expected = rate_hz * burst.duration_ns / SEC
         count = rng.poisson(expected)
@@ -347,6 +359,87 @@ class InterruptSynthesizer:
         times = burst.start_ns + window * period_ns + offset
         return np.sort(np.clip(times, burst.start_ns, burst.end_ns))
 
+    def _poisson_times_batch(
+        self,
+        bursts: Sequence[ActivityBurst],
+        rates_hz: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`_poisson_times` across many bursts.
+
+        Returns ``(times, owners)`` where ``owners[i]`` indexes the burst
+        each arrival belongs to.  Counts, ripple windows and offsets for
+        every burst come from single vectorized draws (a homogeneous
+        burst is one full-duty ripple window), so the RNG draw *order*
+        differs from the per-burst reference while each arrival keeps the
+        same distribution.
+        """
+        if not bursts:
+            return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64)
+        durations = np.array([b.duration_ns for b in bursts], dtype=np.float64)
+        starts = np.array([b.start_ns for b in bursts], dtype=np.float64)
+        ripple = np.array([b.ripple_hz for b in bursts], dtype=np.float64)
+        duty = np.array([b.duty for b in bursts], dtype=np.float64)
+        rippled = ripple > 0
+        period = np.where(rippled, SEC / np.where(rippled, ripple, 1.0), durations)
+        n_windows = np.maximum((durations / period).astype(np.int64), 1)
+        on_len = np.where(rippled, duty * period, durations)
+        counts = rng.poisson(np.asarray(rates_hz, dtype=np.float64) * durations / SEC)
+        owners = np.repeat(np.arange(len(bursts)), counts)
+        if not len(owners):
+            return np.empty(0, dtype=np.float64), owners
+        # Window draws use one scalar-bound call per multi-window burst:
+        # scalar-bound integer generation is several times faster than the
+        # per-element array-bound path, and single-window bursts need no
+        # draw at all (the window is always 0).
+        window = np.zeros(len(owners), dtype=np.float64)
+        bounds = np.searchsorted(owners, np.arange(len(bursts) + 1))
+        for i in range(len(bursts)):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            if hi > lo and n_windows[i] > 1:
+                window[lo:hi] = rng.integers(0, n_windows[i], hi - lo)
+        offset = rng.random(len(owners))
+        offset *= on_len[owners]
+        # Build arrival times in place on the window array (owned here).
+        times = window
+        times *= period[owners]
+        times += starts[owners]
+        times += offset
+        if rippled.any():
+            np.clip(times, starts[owners], starts[owners] + durations[owners], out=times)
+        return times, owners
+
+    def _sample_durations_grouped(
+        self,
+        burst_types: Sequence[Optional[InterruptType]],
+        owners: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Handler durations for ``owners``-indexed arrivals, one latency
+        draw per distinct interrupt type (visited in enum order).
+
+        ``owners`` is sorted, so each burst occupies one contiguous slice;
+        a type's arrivals are the concatenation of its bursts' slices, and
+        one batched draw per type is split across them in order.
+        """
+        durations = np.empty(len(owners), dtype=np.float64)
+        bounds = np.searchsorted(owners, np.arange(len(burst_types) + 1))
+        slices_by_type: dict[InterruptType, list[tuple[int, int]]] = {}
+        for i, itype in enumerate(burst_types):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            if itype is not None and hi > lo:
+                slices_by_type.setdefault(itype, []).append((lo, hi))
+        for itype in sorted(slices_by_type, key=_TYPE_ORDER.__getitem__):
+            slices = slices_by_type[itype]
+            draws = self.latency_model.sample(
+                itype, rng, sum(hi - lo for lo, hi in slices)
+            )
+            offset = 0
+            for lo, hi in slices:
+                durations[lo:hi] = draws[offset : offset + (hi - lo)]
+                offset += hi - lo
+        return durations
+
     def _add_burst_interrupts(
         self,
         per_core: list[list[InterruptBatch]],
@@ -355,27 +448,70 @@ class InterruptSynthesizer:
         rng: np.random.Generator,
         tick_phases: np.ndarray,
     ) -> None:
+        """Workload-driven interrupts for every burst, generated batched.
+
+        Device bursts and compute bursts are partitioned once; all RNG
+        work (arrival counts and times, routing spreads, handler
+        durations, deferred-work placement) is drawn across bursts in
+        vectorized batches.  Per-burst python work shrinks to routing and
+        the final per-(burst, core) appends, which preserve each burst's
+        ``source`` for tracer attribution.
+        """
+        device_bursts = [
+            b
+            for b in timeline
+            if b.kind is not BurstKind.COMPUTE and _KIND_IRQS[b.kind][0] is not None
+        ]
+        if device_bursts:
+            self._add_device_irqs(
+                per_core, device_bursts, style, rng, tick_phases
+            )
+        self._add_compute_ipis(
+            per_core, timeline.of_kind(BurstKind.COMPUTE), style, rng
+        )
+
+    def _add_device_irqs(
+        self,
+        per_core: list[list[InterruptBatch]],
+        bursts: Sequence[ActivityBurst],
+        style: SiteStyle,
+        rng: np.random.Generator,
+        tick_phases: np.ndarray,
+    ) -> None:
         routing = self.config.routing_policy()
-        for burst in timeline:
-            profile = KIND_PROFILES[burst.kind]
-            device_type, deferred_type = _KIND_IRQS[burst.kind]
-            if burst.kind is BurstKind.COMPUTE:
-                self._add_compute_ipis(per_core, burst, style, rng)
-                continue
-            if device_type is None:
-                continue
-            rate = profile.irq_rate_hz * burst.intensity * _BURST_RATE_SCALE
-            times = self._poisson_times(burst, rate, rng)
-            if not len(times):
-                continue
-            targets = routing.route_source(burst.source, len(times), rng)
-            durations = self.latency_model.sample(device_type, rng, len(times))
-            self._scatter(per_core, device_type, times, durations, targets, burst.source)
-            if deferred_type is not None:
-                self._add_deferred(
-                    per_core, burst, style, deferred_type, times, targets, profile,
-                    rng, tick_phases,
+        rates = np.array(
+            [
+                KIND_PROFILES[b.kind].irq_rate_hz * b.intensity * _BURST_RATE_SCALE
+                for b in bursts
+            ]
+        )
+        times, owners = self._poisson_times_batch(bursts, rates, rng)
+        if not len(times):
+            return
+        # ``owners`` is sorted by construction (np.repeat), so each
+        # burst's arrivals form a contiguous slice — no boolean masks.
+        bounds = np.searchsorted(owners, np.arange(len(bursts) + 1))
+        targets = np.empty(len(times), dtype=np.int64)
+        for i, burst in enumerate(bursts):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            if hi > lo:
+                targets[lo:hi] = routing.route_source(burst.source, hi - lo, rng)
+        device_types = [_KIND_IRQS[b.kind][0] for b in bursts]
+        durations = self._sample_durations_grouped(device_types, owners, rng)
+        for i, burst in enumerate(bursts):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            if hi > lo:
+                self._scatter(
+                    per_core,
+                    device_types[i],
+                    times[lo:hi],
+                    durations[lo:hi],
+                    targets[lo:hi],
+                    burst.source,
                 )
+        self._add_deferred(
+            per_core, bursts, style, times, owners, targets, rng, tick_phases
+        )
 
     def _scatter(
         self,
@@ -386,6 +522,15 @@ class InterruptSynthesizer:
         targets: np.ndarray,
         cause: str,
     ) -> None:
+        if not len(targets):
+            return
+        first = int(targets[0])
+        if bool((targets == first).all()):
+            # Affinity/pinned routing sends a whole burst to one core.
+            per_core[first].append(
+                InterruptBatch(itype, times, durations, cause=cause)
+            )
+            return
         for core in np.unique(targets):
             mask = targets == core
             per_core[int(core)].append(
@@ -395,94 +540,135 @@ class InterruptSynthesizer:
     def _add_deferred(
         self,
         per_core: list[list[InterruptBatch]],
-        burst: ActivityBurst,
+        bursts: Sequence[ActivityBurst],
         style: SiteStyle,
-        deferred_type: InterruptType,
         trigger_times: np.ndarray,
+        owners: np.ndarray,
         trigger_cores: np.ndarray,
-        profile,
         rng: np.random.Generator,
         tick_phases: np.ndarray,
     ) -> None:
-        coalescing = style.net_coalescing if deferred_type is InterruptType.SOFTIRQ_NET_RX else 1.0
-        keep_probability = min(profile.deferred_per_irq / coalescing, 1.0)
-        keep = rng.random(len(trigger_times)) < keep_probability
+        """Softirqs / IRQ work piggybacking on the device IRQs of all bursts."""
+        deferred_types = [_KIND_IRQS[b.kind][1] for b in bursts]
+        profiles = [KIND_PROFILES[b.kind] for b in bursts]
+        coalescing = np.array(
+            [
+                style.net_coalescing if t is InterruptType.SOFTIRQ_NET_RX else 1.0
+                for t in deferred_types
+            ]
+        )
+        keep_probability = np.array(
+            [
+                0.0 if t is None else min(p.deferred_per_irq / c, 1.0)
+                for t, p, c in zip(deferred_types, profiles, coalescing)
+            ]
+        )
+        keep = rng.random(len(trigger_times)) < keep_probability[owners]
         if not keep.any():
             return
-        times = trigger_times[keep] + rng.exponential(_DEFERRED_DELAY_MEAN_NS, keep.sum())
-        cores = self.softirq_placement.place(trigger_cores[keep], self.config.n_cores, rng)
+        deferred_owners = owners[keep]
+        times = trigger_times[keep]
+        times += rng.exponential(_DEFERRED_DELAY_MEAN_NS, len(times))
+        cores = self.softirq_placement.place(
+            trigger_cores[keep], self.config.n_cores, rng
+        )
         # Most deferred items drain inside the next timer tick on their
         # core; the rest run on an immediate wakeup.
-        snap_probability = (
-            _IRQ_WORK_TICK_SNAP_PROBABILITY
-            if deferred_type is InterruptType.IRQ_WORK
-            else _DEFERRED_TICK_SNAP_PROBABILITY
+        snap_probability = np.array(
+            [
+                _IRQ_WORK_TICK_SNAP_PROBABILITY
+                if t is InterruptType.IRQ_WORK
+                else _DEFERRED_TICK_SNAP_PROBABILITY
+                for t in deferred_types
+            ]
         )
-        snap = rng.random(len(times)) < snap_probability
-        times = np.where(snap, self._next_tick(times, cores, tick_phases), times)
-        durations = self.latency_model.sample(deferred_type, rng, keep.sum())
+        snap = rng.random(len(times)) < snap_probability[deferred_owners]
+        times[snap] = self._next_tick(times[snap], cores[snap], tick_phases)
+        durations = self._sample_durations_grouped(deferred_types, deferred_owners, rng)
         # Heavier bursts defer more work per softirq -> longer handlers.
         # IRQ work is exempt: it only queues/kicks off the deferred
         # operation, so its own handler stays short (Fig 6).
-        if deferred_type is not InterruptType.IRQ_WORK:
-            load_stretch = 1.0 + profile.duration_load_factor * burst.intensity * coalescing
-            durations = durations * load_stretch
-        order = np.argsort(times)
-        self._scatter(
-            per_core,
-            deferred_type,
-            times[order],
-            durations[order],
-            cores[order],
-            f"{burst.source}/deferred",
+        load_stretch = np.array(
+            [
+                1.0
+                if t is None or t is InterruptType.IRQ_WORK
+                else 1.0 + p.duration_load_factor * b.intensity * c
+                for t, p, b, c in zip(deferred_types, profiles, bursts, coalescing)
+            ]
         )
+        durations *= load_stretch[deferred_owners]
+        bounds = np.searchsorted(deferred_owners, np.arange(len(bursts) + 1))
+        for i, burst in enumerate(bursts):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            if hi > lo:
+                self._scatter(
+                    per_core,
+                    deferred_types[i],
+                    times[lo:hi],
+                    durations[lo:hi],
+                    cores[lo:hi],
+                    f"{burst.source}/deferred",
+                )
 
     def _add_compute_ipis(
         self,
         per_core: list[list[InterruptBatch]],
-        burst: ActivityBurst,
+        bursts: Sequence[ActivityBurst],
         style: SiteStyle,
         rng: np.random.Generator,
     ) -> None:
+        """Rescheduling IPIs and TLB shootdowns for all compute bursts."""
+        if not bursts:
+            return
         profile = KIND_PROFILES[BurstKind.COMPUTE]
-        rate = (
+        intensities = np.array([b.intensity for b in bursts])
+        rates = (
             profile.irq_rate_hz
-            * burst.intensity
+            * intensities
             * style.resched_weight
             * _BURST_RATE_SCALE
         )
-        resched_times = self._poisson_times(burst, rate, rng)
+        resched_times, owners = self._poisson_times_batch(bursts, rates, rng)
         if len(resched_times):
             targets = rng.integers(0, self.config.n_cores, len(resched_times))
             durations = self.latency_model.sample(
                 InterruptType.RESCHED_IPI, rng, len(resched_times)
             )
-            stretch = 1.0 + profile.duration_load_factor * burst.intensity
-            self._scatter(
-                per_core,
-                InterruptType.RESCHED_IPI,
-                resched_times,
-                durations * stretch,
-                targets,
-                burst.source,
-            )
+            stretch = 1.0 + profile.duration_load_factor * intensities
+            durations *= stretch[owners]
+            bounds = np.searchsorted(owners, np.arange(len(bursts) + 1))
+            for i, burst in enumerate(bursts):
+                lo, hi = int(bounds[i]), int(bounds[i + 1])
+                if hi > lo:
+                    self._scatter(
+                        per_core,
+                        InterruptType.RESCHED_IPI,
+                        resched_times[lo:hi],
+                        durations[lo:hi],
+                        targets[lo:hi],
+                        burst.source,
+                    )
         # TLB shootdowns broadcast to every core.
-        tlb_times = self._poisson_times(
-            burst, rate * _TLB_FRACTION_OF_RESCHED, rng
+        tlb_times, tlb_owners = self._poisson_times_batch(
+            bursts, rates * _TLB_FRACTION_OF_RESCHED, rng
         )
         if len(tlb_times):
+            tlb_bounds = np.searchsorted(tlb_owners, np.arange(len(bursts) + 1))
             for core in range(self.config.n_cores):
                 durations = self.latency_model.sample(
                     InterruptType.TLB_SHOOTDOWN, rng, len(tlb_times)
                 )
-                per_core[core].append(
-                    InterruptBatch(
-                        InterruptType.TLB_SHOOTDOWN,
-                        tlb_times,
-                        durations,
-                        cause=f"{burst.source}/tlb",
-                    )
-                )
+                for i, burst in enumerate(bursts):
+                    lo, hi = int(tlb_bounds[i]), int(tlb_bounds[i + 1])
+                    if hi > lo:
+                        per_core[core].append(
+                            InterruptBatch(
+                                InterruptType.TLB_SHOOTDOWN,
+                                tlb_times[lo:hi],
+                                durations[lo:hi],
+                                cause=f"{burst.source}/tlb",
+                            )
+                        )
 
     def _add_tick_work(
         self,
@@ -503,7 +689,7 @@ class InterruptSynthesizer:
         for core in range(self.config.n_cores):
             phase = tick_phases[core]
             ticks = np.arange(phase, timeline.horizon_ns, period_ns, dtype=np.float64)
-            loads = np.array([timeline.load_at(float(t)) for t in ticks])
+            loads = timeline.load_at_array(ticks)
             active = loads > 0.02
             if not active.any():
                 continue

@@ -57,15 +57,12 @@ def contention_batch(
     nuisance channel is (weakly) correlated with website activity.
     """
     step_ns = 100 * MS
-    times: list[float] = []
-    for window_start in np.arange(0, timeline.horizon_ns, step_ns, dtype=np.float64):
-        load = timeline.load_at(float(window_start))
-        rate_hz = config.base_rate_hz * contention_scale * (0.15 + load)
-        expected = rate_hz * (step_ns / SEC)
-        count = rng.poisson(expected)
-        if count:
-            times.extend(rng.uniform(window_start, window_start + step_ns, count))
-    times_arr = np.sort(np.array(times, dtype=np.float64))
+    window_starts = np.arange(0, timeline.horizon_ns, step_ns, dtype=np.float64)
+    loads = timeline.load_at_array(window_starts)
+    rates_hz = config.base_rate_hz * contention_scale * (0.15 + loads)
+    counts = rng.poisson(rates_hz * (step_ns / SEC))
+    starts = np.repeat(window_starts, counts)
+    times_arr = np.sort(starts + rng.uniform(0.0, step_ns, len(starts)))
     slices = rng.uniform(config.slice_min_ns, config.slice_max_ns, len(times_arr))
     return InterruptBatch(
         itype=InterruptType.RESCHED_IPI,

@@ -47,19 +47,22 @@ class InterruptRecord:
 
 
 def serialize_handlers(
-    arrivals: np.ndarray, durations: np.ndarray
+    arrivals: np.ndarray, durations: np.ndarray, assume_sorted: bool = False
 ) -> tuple[np.ndarray, np.ndarray]:
     """Compute actual handling windows for arrival-sorted interrupts.
 
     ``start[i] = max(arrival[i], end[i-1])`` and ``end[i] = start[i] +
     duration[i]``, computed without a Python loop via the identity
     ``end[i] = cumsum(d)[i] + max_{j<=i}(arrival[j] - cumsum(d)[j-1])``.
+
+    ``assume_sorted`` skips the sortedness validation for callers whose
+    arrivals are sorted by construction (``merge_batches`` output).
     """
     arrivals = np.asarray(arrivals, dtype=np.float64)
     durations = np.asarray(durations, dtype=np.float64)
     if len(arrivals) == 0:
         return arrivals.copy(), arrivals.copy()
-    if np.any(np.diff(arrivals) < 0):
+    if not assume_sorted and np.any(np.diff(arrivals) < 0):
         raise ValueError("arrivals must be sorted")
     cum = np.cumsum(durations)
     offset = np.maximum.accumulate(arrivals - (cum - durations))
@@ -93,6 +96,19 @@ class GapTimeline:
     @classmethod
     def empty(cls) -> "GapTimeline":
         return cls(np.empty(0), np.empty(0))
+
+    @classmethod
+    def _trusted(cls, gap_starts: np.ndarray, gap_ends: np.ndarray) -> "GapTimeline":
+        """Construct without validation.
+
+        For internal callers (``CoreTimeline._merge_gaps``) whose gaps are
+        sorted, disjoint and non-negative by construction.
+        """
+        self = cls.__new__(cls)
+        self.gap_starts = gap_starts
+        self.gap_ends = gap_ends
+        self._cum_before = np.concatenate([[0.0], np.cumsum(gap_ends - gap_starts)])
+        return self
 
     @property
     def total_stolen_ns(self) -> float:
@@ -156,13 +172,16 @@ class CoreTimeline:
         cause_codes: np.ndarray,
         cause_names: list[str],
         merge_epsilon_ns: float = GAP_MERGE_EPSILON_NS,
+        arrivals_sorted: bool = False,
     ):
         self.arrivals = np.asarray(times, dtype=np.float64)
         self.handler_durations = np.asarray(durations, dtype=np.float64)
         self.type_codes = np.asarray(type_codes, dtype=np.int64)
         self.cause_codes = np.asarray(cause_codes, dtype=np.int64)
         self.cause_names = list(cause_names)
-        self.starts, self.ends = serialize_handlers(self.arrivals, self.handler_durations)
+        self.starts, self.ends = serialize_handlers(
+            self.arrivals, self.handler_durations, assume_sorted=arrivals_sorted
+        )
         self._merge_epsilon = float(merge_epsilon_ns)
         self.record_gap_index, self.gaps = self._merge_gaps()
 
@@ -170,7 +189,15 @@ class CoreTimeline:
     def from_batches(cls, batches: list[InterruptBatch], **kwargs) -> "CoreTimeline":
         """Build a timeline from per-type interrupt batches."""
         times, durations, type_codes, cause_codes, cause_names = merge_batches(batches)
-        return cls(times, durations, type_codes, cause_codes, cause_names, **kwargs)
+        return cls(
+            times,
+            durations,
+            type_codes,
+            cause_codes,
+            cause_names,
+            arrivals_sorted=True,
+            **kwargs,
+        )
 
     def _merge_gaps(self) -> tuple[np.ndarray, GapTimeline]:
         n = len(self.starts)
@@ -182,13 +209,13 @@ class CoreTimeline:
         new_gap[0] = True
         new_gap[1:] = self.starts[1:] > self.ends[:-1] + self._merge_epsilon
         gap_index = np.cumsum(new_gap) - 1
-        gap_starts = self.starts[new_gap]
+        first_in_gap = np.flatnonzero(new_gap)
+        gap_starts = self.starts[first_in_gap]
         # Gap end = max end within the gap; ends are nondecreasing within a
-        # serialized gap, so the last record's end is the gap end.
-        last_in_gap = np.empty(int(gap_index[-1]) + 1, dtype=np.int64)
-        last_in_gap[gap_index] = np.arange(n)
-        gap_ends = self.ends[last_in_gap]
-        return gap_index, GapTimeline(gap_starts, gap_ends)
+        # serialized gap, so the last record's end is the gap end.  The last
+        # record of gap g is the record before gap g+1's first record.
+        gap_ends = self.ends[np.append(first_in_gap[1:] - 1, n - 1)]
+        return gap_index, GapTimeline._trusted(gap_starts, gap_ends)
 
     def __len__(self) -> int:
         return len(self.arrivals)

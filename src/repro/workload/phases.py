@@ -154,11 +154,37 @@ class ActivityTimeline:
                 load += KIND_PROFILES[burst.kind].cpu_load * burst.intensity
         return min(load, 1.0)
 
+    def _load_support(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-burst ``(starts, ends, load weights)`` arrays, built once."""
+        cached = getattr(self, "_load_support_arrays", None)
+        if cached is None:
+            cached = (
+                np.array([b.start_ns for b in self.bursts], dtype=np.float64),
+                np.array([b.end_ns for b in self.bursts], dtype=np.float64),
+                np.array(
+                    [
+                        KIND_PROFILES[b.kind].cpu_load * b.intensity
+                        for b in self.bursts
+                    ],
+                    dtype=np.float64,
+                ),
+            )
+            self._load_support_arrays = cached
+        return cached
+
+    def load_at_array(self, t_ns: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`load_at` for an array of sample times."""
+        t = np.asarray(t_ns, dtype=np.float64)
+        if not self.bursts:
+            return np.zeros(t.shape, dtype=np.float64)
+        starts, ends, weights = self._load_support()
+        active = (t[..., None] >= starts) & (t[..., None] < ends)
+        return np.minimum(active @ weights, 1.0)
+
     def load_curve(self, step_ns: int = 10 * MS) -> tuple[np.ndarray, np.ndarray]:
         """Sampled ``(times, loads)`` over the horizon."""
         times = np.arange(0, self.horizon_ns, step_ns, dtype=np.float64)
-        loads = np.array([self.load_at(float(t)) for t in times])
-        return times, loads
+        return times, self.load_at_array(times)
 
     def occupancy_curve(
         self,
@@ -180,12 +206,23 @@ class ActivityTimeline:
             weight = 1.0 if burst.kind is BurstKind.MEMORY else 0.45
             mask = (times >= burst.start_ns) & (times < burst.end_ns)
             demand[mask] = np.maximum(demand[mask], weight * burst.intensity)
+        # The relaxation is evaluated one constant-demand segment at a
+        # time: within a segment the level approaches the target
+        # monotonically, so the time constant never switches mid-segment
+        # and the recurrence has the closed form
+        # ``level(k) = target + (level0 - target) * exp(-k * step / tau)``.
         occupancy = np.zeros_like(times)
+        segment_starts = np.flatnonzero(
+            np.concatenate(([True], demand[1:] != demand[:-1]))
+        )
+        bounds = np.append(segment_starts, len(demand))
         level = 0.0
-        for i, target in enumerate(demand):
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            target = float(demand[lo])
             tau = rise_tau_ns if target > level else decay_tau_ns
-            level = target + (level - target) * np.exp(-step_ns / tau)
-            occupancy[i] = level
+            relax = np.exp(-step_ns * np.arange(1, hi - lo + 1) / tau)
+            occupancy[lo:hi] = target + (level - target) * relax
+            level = float(occupancy[hi - 1])
         return times, occupancy
 
 

@@ -1,0 +1,114 @@
+"""Noise-aware comparison semantics of ``repro.bench.compare``."""
+
+from __future__ import annotations
+
+from repro.bench.compare import compare_reports, speedup_summary
+from repro.bench.results import BenchReport, ScenarioRecord
+
+import pytest
+
+
+def record(name: str, wall_s: list[float], **kwargs) -> ScenarioRecord:
+    return ScenarioRecord(
+        name=name,
+        description=f"{name} scenario",
+        scale="custom",
+        seed=0,
+        warmup=1,
+        repeat=len(wall_s),
+        wall_s=wall_s,
+        cpu_s=list(wall_s),
+        **kwargs,
+    )
+
+
+def report(label: str, *records: ScenarioRecord) -> BenchReport:
+    return BenchReport(label=label, scenarios={r.name: r for r in records})
+
+
+class TestVerdicts:
+    def test_identical_runs_pass(self):
+        base = report("base", record("a", [1.0, 1.0, 1.0]))
+        result = compare_reports(base, report("cand", record("a", [1.0, 1.0, 1.0])))
+        assert result.ok
+        assert result.rows[0].status == "ok"
+
+    def test_injected_slowdown_regresses(self):
+        base = report("base", record("a", [1.0, 1.0, 1.0]))
+        slow = report("cand", record("a", [1.5, 1.5, 1.5]))
+        result = compare_reports(base, slow, threshold=0.10)
+        assert not result.ok
+        assert result.rows[0].status == "regressed"
+
+    def test_speedup_reported_as_faster(self):
+        base = report("base", record("a", [1.0, 1.0, 1.0]))
+        fast = report("cand", record("a", [0.5, 0.5, 0.5]))
+        result = compare_reports(base, fast)
+        assert result.ok
+        assert result.rows[0].status == "faster"
+
+    def test_regression_exactly_at_threshold_passes(self):
+        # The bound is strict: candidate == baseline * (1 + threshold)
+        # does NOT regress.  Identical samples keep cv = 0 so the
+        # effective threshold is exactly the configured one.
+        base = report("base", record("a", [1.0, 1.0, 1.0]))
+        at_bound = report("cand", record("a", [1.1, 1.1, 1.1]))
+        result = compare_reports(base, at_bound, threshold=0.10, noise_factor=0.0)
+        assert result.ok, result.format_table()
+        assert result.rows[0].status == "ok"
+
+    def test_just_over_threshold_fails(self):
+        base = report("base", record("a", [1.0, 1.0, 1.0]))
+        over = report("cand", record("a", [1.100001, 1.100001, 1.100001]))
+        result = compare_reports(base, over, threshold=0.10, noise_factor=0.0)
+        assert not result.ok
+
+    def test_missing_scenario_fails(self):
+        base = report("base", record("a", [1.0]), record("b", [1.0]))
+        cand = report("cand", record("a", [1.0]))
+        result = compare_reports(base, cand)
+        assert not result.ok
+        assert [r.name for r in result.missing] == ["b"]
+        assert "MISSING" in result.format_table()
+
+    def test_added_scenario_is_informational(self):
+        base = report("base", record("a", [1.0]))
+        cand = report("cand", record("a", [1.0]), record("new", [2.0]))
+        result = compare_reports(base, cand)
+        assert result.ok
+        added = next(r for r in result.rows if r.name == "new")
+        assert added.status == "added"
+        assert "added" in result.format_table()
+
+
+class TestNoiseAwareness:
+    def test_noisy_scenario_earns_wider_band(self):
+        # cv ~ 26% with these samples; noise_factor 3 widens the band far
+        # past the 50% slowdown that a quiet scenario would flag.
+        base = report("base", record("a", [1.0, 1.5, 2.0]))
+        cand = report("cand", record("a", [1.5, 2.0, 2.5]))
+        strict = compare_reports(base, cand, threshold=0.10, noise_factor=0.0)
+        lenient = compare_reports(base, cand, threshold=0.10, noise_factor=3.0)
+        assert not strict.ok
+        assert lenient.ok
+
+    def test_negative_threshold_rejected(self):
+        base = report("base", record("a", [1.0]))
+        with pytest.raises(ValueError):
+            compare_reports(base, base, threshold=-0.1)
+        with pytest.raises(ValueError):
+            compare_reports(base, base, noise_factor=-1.0)
+
+
+class TestSummaries:
+    def test_speedup_summary_shared_scenarios_only(self):
+        base = report("base", record("a", [2.0]), record("b", [1.0]))
+        cand = report("cand", record("a", [1.0]), record("c", [1.0]))
+        assert speedup_summary(base, cand) == {"a": 2.0}
+
+    def test_format_table_verdict_line(self):
+        base = report("base", record("a", [1.0]))
+        ok = compare_reports(base, base)
+        assert ok.format_table().endswith("bench compare: PASS")
+        bad = compare_reports(base, report("cand", record("a", [9.0])))
+        assert "FAIL" in bad.format_table().splitlines()[-1]
