@@ -9,11 +9,12 @@ import pytest
 
 from repro.config import SMOKE
 from repro.experiments import background_noise
+from repro.engine import RunContext
 
 
 @pytest.fixture(scope="module")
 def result():
-    return background_noise.run(SMOKE.with_(traces_per_site=8), seed=0)
+    return background_noise.run(RunContext.default(scale=SMOKE.with_(traces_per_site=8), seed=0))
 
 
 def test_background_noise_robustness(benchmark, archive, result):

@@ -8,11 +8,12 @@ memory.
 
 from repro.config import SMOKE
 from repro.experiments import fig4
+from repro.engine import RunContext
 
 
 def test_fig4_attacker_correlation(benchmark, archive):
     result = benchmark.pedantic(
-        lambda: fig4.run(SMOKE.with_(traces_per_site=12), seed=0),
+        lambda: fig4.run(RunContext.default(scale=SMOKE.with_(traces_per_site=12), seed=0)),
         rounds=1,
         iterations=1,
     )

@@ -9,11 +9,12 @@ import pytest
 
 from repro.config import SMOKE
 from repro.experiments import fig5
+from repro.engine import RunContext
 
 
 @pytest.fixture(scope="module")
 def result():
-    return fig5.run(SMOKE.with_(trace_seconds=8.0, traces_per_site=12), seed=0)
+    return fig5.run(RunContext.default(scale=SMOKE.with_(trace_seconds=8.0, traces_per_site=12), seed=0))
 
 
 def test_fig5_interrupt_time(benchmark, archive, result):

@@ -11,11 +11,12 @@ from repro.config import SMOKE
 from repro.experiments import fig6
 from repro.sim.events import US
 from repro.sim.interrupts import InterruptType
+from repro.engine import RunContext
 
 
 @pytest.fixture(scope="module")
 def result():
-    return fig6.run(SMOKE.with_(trace_seconds=6.0), seed=0)
+    return fig6.run(RunContext.default(scale=SMOKE.with_(trace_seconds=6.0), seed=0))
 
 
 def test_fig6_handler_time_distributions(benchmark, archive, result):

@@ -10,11 +10,12 @@ import pytest
 
 from repro.config import SMOKE
 from repro.experiments import fig7
+from repro.engine import RunContext
 
 
 @pytest.fixture(scope="module")
 def result():
-    return fig7.run(SMOKE, seed=0)
+    return fig7.run(RunContext.default(scale=SMOKE, seed=0))
 
 
 def test_fig7_timer_outputs(benchmark, archive, result):

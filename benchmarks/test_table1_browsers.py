@@ -11,6 +11,7 @@ import pytest
 from repro.config import SMOKE
 from repro.experiments import table1
 from repro.workload.browser import CHROME, LINUX, MACOS, SAFARI, TOR_BROWSER
+from repro.engine import RunContext
 
 #: A representative subset of the 8-config grid (full grid = `biggerfish
 #: table1 --scale default`): fast browser on two OSes plus Tor.
@@ -23,7 +24,7 @@ BENCH_CONFIGS = (
 
 @pytest.fixture(scope="module")
 def result(request):
-    return table1.run(SMOKE, seed=0, configs=BENCH_CONFIGS, open_world=True)
+    return table1.run(RunContext.default(scale=SMOKE, seed=0), configs=BENCH_CONFIGS, open_world=True)
 
 
 def test_table1_browser_grid(benchmark, archive, result):

@@ -12,11 +12,12 @@ import pytest
 
 from repro.config import SMOKE
 from repro.experiments import table2
+from repro.engine import RunContext
 
 
 @pytest.fixture(scope="module")
 def result():
-    return table2.run(SMOKE.with_(traces_per_site=8), seed=0)
+    return table2.run(RunContext.default(scale=SMOKE.with_(traces_per_site=8), seed=0))
 
 
 def test_table2_noise_grid(benchmark, archive, result):

@@ -10,11 +10,12 @@ import pytest
 
 from repro.config import SMOKE
 from repro.experiments import table3
+from repro.engine import RunContext
 
 
 @pytest.fixture(scope="module")
 def result():
-    return table3.run(SMOKE.with_(traces_per_site=8), seed=0)
+    return table3.run(RunContext.default(scale=SMOKE.with_(traces_per_site=8), seed=0))
 
 
 def test_table3_isolation_ladder(benchmark, archive, result):

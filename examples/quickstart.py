@@ -17,7 +17,7 @@ def show_example_traces() -> None:
     collector = TraceCollector(MachineConfig(), CHROME, seed=7)
     print("Example loop-counting traces (15 s, P = 5 ms):")
     for name in ("nytimes.com", "amazon.com", "weather.com"):
-        trace = collector.collect_trace(profile_for(name))
+        trace = collector.collect(profile_for(name))[0]
         vector = trace.to_vector()
         print(
             f"  {name:13s} counts {vector.min():6.0f}..{vector.max():6.0f}  "

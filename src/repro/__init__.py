@@ -31,6 +31,7 @@ from repro.core import (
     NoiseHooks,
     SweepCountingAttacker,
     Trace,
+    TraceBatch,
     TraceCollector,
     TraceSpec,
     analyze_run,
@@ -58,7 +59,8 @@ __all__ = [
     "CacheStats", "ExecutionEngine", "RunContext", "RunManifest", "TraceCache",
     "DEFAULT", "PAPER", "SCALES", "SMOKE", "Scale", "FingerprintingPipeline",
     "LoopCountingAttacker", "NoiseHooks", "SweepCountingAttacker", "Trace",
-    "TraceCollector", "TraceSpec", "analyze_run", "InterruptSynthesizer",
+    "TraceBatch", "TraceCollector", "TraceSpec", "analyze_run",
+    "InterruptSynthesizer",
     "InterruptType", "MachineConfig", "MachineRun", "CHROME", "FIREFOX",
     "LINUX", "MACOS", "SAFARI", "TOR_BROWSER", "WINDOWS", "WebsiteProfile",
     "closed_world", "profile_for", "__version__",

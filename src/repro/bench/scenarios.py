@@ -8,7 +8,7 @@ work it did (event counts, dataset shapes) which lands in the result
 JSON's ``meta`` block — a cheap sanity check that two runs being
 compared really did the same thing.
 
-The default registry covers the three layers the ROADMAP cares about:
+The default registry covers the layers the ROADMAP cares about:
 
 * ``sim.synthesize``   — the interrupt-synthesis hot path (the component
   PR 5 vectorized), at the ``custom`` scale: four 12-second nytimes.com
@@ -17,7 +17,10 @@ The default registry covers the three layers the ROADMAP cares about:
   fast classifier backend;
 * ``e2e.table1_smoke`` — the Chrome/Linux cell of Table 1 end to end
   (collect → features → cross-validated accuracy) at a tiny scale,
-  serial and cache-less so the measurement is pure compute.
+  serial and cache-less so the measurement is pure compute;
+* ``serve.latency``    — closed-loop wall latency (p50/p99) of the
+  micro-batching :class:`~repro.serve.server.FingerprintServer` under
+  concurrent clients hammering a warm feature-backend artifact.
 """
 
 from __future__ import annotations
@@ -49,6 +52,11 @@ E2E_SCALE: Scale = Scale(
 
 #: Loads synthesized per repetition of ``sim.synthesize``.
 _SYNTH_LOADS = 4
+
+#: Closed-loop shape of the ``serve.latency`` scenario: this many
+#: concurrent clients, each sending this many back-to-back requests.
+_SERVE_CLIENTS = 8
+_SERVE_REQUESTS = 24
 
 
 @dataclass(frozen=True)
@@ -171,6 +179,57 @@ register(
         setup=_setup_features,
     )
 )
+def _setup_serve_latency(seed: int) -> Callable[[], dict]:
+    import tempfile
+
+    from repro.ml.models import FeatureFingerprinter
+    from repro.serve.loadgen import run_load
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.server import FingerprintServer
+
+    n_classes, per_class, length = 8, 12, 1_500
+    rng = np.random.default_rng([seed, 0x5EC7])
+    # Synthetic classes: distinct per-class temporal profiles on top of
+    # the paper's counter band, cheap to train but non-trivial to serve.
+    profiles = rng.normal(0.0, 400.0, size=(n_classes, length))
+    x = np.concatenate(
+        [
+            25_000.0 + profiles[c] + rng.normal(0.0, 300.0, size=(per_class, length))
+            for c in range(n_classes)
+        ]
+    )
+    y = np.repeat(np.arange(n_classes), per_class)
+    model = FeatureFingerprinter(seed=seed, epochs=60).fit(x, y, n_classes)
+    artifact_dir = tempfile.mkdtemp(prefix="biggerfish-serve-bench-")
+    model.save(artifact_dir, classes=[f"site{c:02d}" for c in range(n_classes)])
+    registry = ModelRegistry()
+    registry.add("bench", artifact_dir)
+    registry.get("bench")  # warm the LRU so work() measures serving only
+    vectors = [x[i] for i in range(0, len(x), 3)]
+
+    def work() -> dict:
+        with FingerprintServer(
+            registry, max_batch=16, max_wait_ms=1.0, max_queue=512
+        ) as server:
+            report = run_load(
+                server,
+                vectors,
+                clients=_SERVE_CLIENTS,
+                requests_per_client=_SERVE_REQUESTS,
+                seed=seed,
+            )
+        return {
+            "clients": _SERVE_CLIENTS,
+            "requests": report.n_requests,
+            "ok": report.n_ok,
+            "p50_ms": round(report.p50_ms, 3),
+            "p99_ms": round(report.p99_ms, 3),
+            "mean_batch": round(report.mean_batch, 2),
+        }
+
+    return work
+
+
 register(
     Scenario(
         name="e2e.table1_smoke",
@@ -180,5 +239,17 @@ register(
         ),
         scale=E2E_SCALE.name,
         setup=_setup_table1_smoke,
+    )
+)
+register(
+    Scenario(
+        name="serve.latency",
+        description=(
+            f"FingerprintServer closed-loop wall latency: {_SERVE_CLIENTS} "
+            f"clients x {_SERVE_REQUESTS} requests against a warm feature "
+            "model (micro-batch 16, 1 ms window); meta records p50/p99"
+        ),
+        scale="n/a",
+        setup=_setup_serve_latency,
     )
 )

@@ -8,16 +8,24 @@ collection (§4.1): repeated site loads, one trace per load.
 
 Collection is embarrassingly parallel at (site, trace-index) granularity
 — every trace derives its RNG stream from ``(collector seed, site seed,
-trace index)`` alone — so ``collect_dataset`` fans out over an
-:class:`~repro.engine.engine.ExecutionEngine` when one is attached, and
-consults the engine's :class:`~repro.engine.cache.TraceCache` before
+trace index)`` alone — so :meth:`TraceCollector.collect` fans out over
+an :class:`~repro.engine.engine.ExecutionEngine` when one is attached,
+and consults the engine's :class:`~repro.engine.cache.TraceCache` before
 simulating anything.  Parallel, cached and serial runs are bit-identical.
+
+``collect()`` is the single entry point: it takes one site or many,
+a per-site trace count, and returns a :class:`TraceBatch` that behaves
+as a sequence of traces and stacks into ``(X, labels)`` on demand.  The
+pre-unification methods (``collect_trace`` / ``collect_traces`` /
+``collect_dataset``) survive as one-release ``DeprecationWarning``
+shims.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence, Union
 
 import numpy as np
 
@@ -51,6 +59,33 @@ class NoiseHooks:
     interrupt_injector: Optional[object] = None
     load_stretch: float = 1.0
     occupancy_floor: float = 0.0
+
+
+@dataclass(frozen=True)
+class TraceBatch(Sequence):
+    """The result of one :meth:`TraceCollector.collect` call.
+
+    Behaves as an immutable sequence of :class:`~repro.core.trace.Trace`
+    objects (indexing, iteration, ``len``) and stacks into the classic
+    ``(X, labels)`` dataset pair via :meth:`stacked`.
+    """
+
+    traces: tuple = ()
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return TraceBatch(traces=self.traces[index])
+        return self.traces[index]
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self.traces)
+
+    def stacked(self) -> tuple[np.ndarray, list[str]]:
+        """Stack into ``(X, labels)`` for the ml layer."""
+        return stack_dataset(list(self.traces))
 
 
 class TraceCollector:
@@ -88,22 +123,61 @@ class TraceCollector:
 
     # ------------------------------------------------------------------
 
+    def collect(
+        self,
+        sites: Union[WebsiteProfile, Sequence[WebsiteProfile]],
+        traces_per_site: int = 1,
+        *,
+        start_index: int = 0,
+        noise: Optional[NoiseHooks] = None,
+        labels: Optional[Sequence[str]] = None,
+    ) -> TraceBatch:
+        """Collect ``traces_per_site`` traces for each site.
+
+        The single collection entry point: ``sites`` is one
+        :class:`~repro.workload.website.WebsiteProfile` or a sequence of
+        them; trace indices run ``start_index .. start_index +
+        traces_per_site - 1`` per site (the index participates in the
+        per-trace RNG derivation, so distinct indices are distinct
+        victim loads).  ``labels`` optionally relabels traces per site
+        (e.g. collapsing open-world sites onto one class).  Returns a
+        :class:`TraceBatch` ordered site-major, index-minor.
+        """
+        if isinstance(sites, WebsiteProfile):
+            sites = [sites]
+        else:
+            sites = list(sites)
+        if not sites:
+            raise ValueError("need at least one site to collect")
+        if traces_per_site < 1:
+            raise ValueError(f"need at least one trace per site, got {traces_per_site}")
+        if labels is not None and len(labels) != len(sites):
+            raise ValueError(
+                f"{len(labels)} labels for {len(sites)} site(s); labels are per site"
+            )
+        requests = [
+            (site, start_index + k, noise)
+            for site in sites
+            for k in range(traces_per_site)
+        ]
+        traces = self._collect_batch(requests)
+        if labels is not None:
+            for i, trace in enumerate(traces):
+                trace.label = labels[i // traces_per_site]
+        return TraceBatch(traces=tuple(traces))
+
+    # ------------------------------------------------------------------
+    # deprecated pre-unification entry points (one-release shims)
+
     def collect_trace(
         self,
         site: WebsiteProfile,
         trace_index: int = 0,
         noise: Optional[NoiseHooks] = None,
     ) -> Trace:
-        """Load ``site`` once and record the attacker's trace."""
-        key = self._cache_key(site, trace_index, noise) if self.cache else None
-        if key is not None:
-            cached = self.cache.get(key)
-            if cached is not None:
-                return cached
-        trace = self._collect_uncached(site, trace_index, noise)
-        if key is not None:
-            self.cache.put(key, trace)
-        return trace
+        """Deprecated: use ``collect(site, start_index=trace_index)[0]``."""
+        _warn_deprecated("collect_trace", "collect(site, start_index=...)[0]")
+        return self.collect(site, 1, start_index=trace_index, noise=noise)[0]
 
     def collect_traces(
         self,
@@ -111,8 +185,9 @@ class TraceCollector:
         n_traces: int,
         noise: Optional[NoiseHooks] = None,
     ) -> list[Trace]:
-        """``n_traces`` independent loads of one site, engine-scheduled."""
-        return self._collect_batch([(site, k, noise) for k in range(n_traces)])
+        """Deprecated: use ``list(collect(site, n_traces))``."""
+        _warn_deprecated("collect_traces", "list(collect(site, n))")
+        return list(self.collect(site, n_traces, noise=noise))
 
     def collect_dataset(
         self,
@@ -121,19 +196,14 @@ class TraceCollector:
         noise: Optional[NoiseHooks] = None,
         labels: Optional[Sequence[str]] = None,
     ) -> tuple[np.ndarray, list[str]]:
-        """Collect ``traces_per_site`` traces per site into ``(X, y)``."""
-        if traces_per_site < 1:
-            raise ValueError(f"need at least one trace per site, got {traces_per_site}")
-        requests = [
-            (site, k, noise)
-            for site in sites
-            for k in range(traces_per_site)
-        ]
-        traces = self._collect_batch(requests)
-        if labels is not None:
-            for i, trace in enumerate(traces):
-                trace.label = labels[i // traces_per_site]
-        return stack_dataset(traces)
+        """Deprecated: use ``collect(sites, traces_per_site).stacked()``."""
+        _warn_deprecated("collect_dataset", "collect(sites, n).stacked()")
+        if labels is not None and len(labels) > len(sites):
+            # The old method indexed labels per site and ignored extras.
+            labels = list(labels)[: len(sites)]
+        return self.collect(
+            sites, traces_per_site, noise=noise, labels=labels
+        ).stacked()
 
     def _collect_batch(
         self, requests: Sequence[tuple[WebsiteProfile, int, Optional[NoiseHooks]]]
@@ -291,6 +361,15 @@ class TraceCollector:
             label=label,
             attacker=self.attacker.name,
         )
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"TraceCollector.{old} is deprecated and will be removed next "
+        f"release; use TraceCollector.{new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def _collect_task(task: tuple) -> Trace:

@@ -152,7 +152,7 @@ def collect_and_save(
     extra_metadata: Optional[Mapping] = None,
 ) -> TraceDataset:
     """Collect a dataset with ``collector`` and persist it."""
-    x, labels = collector.collect_dataset(sites, traces_per_site, noise=noise)
+    x, labels = collector.collect(sites, traces_per_site, noise=noise).stacked()
     metadata = {
         "attacker": collector.attacker.name,
         "browser": collector.browser.name,

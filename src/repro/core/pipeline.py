@@ -12,7 +12,6 @@ cross-validated evaluation for both of the paper's setups:
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -81,18 +80,9 @@ class FingerprintingPipeline:
         attacker: Optional[Attacker] = None,
         scale: Scale = DEFAULT,
         timer: Optional[TimerSpec] = None,
-        period_ms: Optional[float] = None,
         seed: int = 0,
         engine=None,
     ):
-        if period_ms is not None:
-            warnings.warn(
-                "FingerprintingPipeline(period_ms=...) is deprecated; pass "
-                "scale.with_(period_ms=...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            scale = scale.with_(period_ms=float(period_ms))
         self.machine = machine
         self.scale = scale
         self.seed = int(seed)
@@ -157,9 +147,9 @@ class FingerprintingPipeline:
             sites=self.scale.n_sites,
             traces_per_site=self.scale.traces_per_site,
         ):
-            return self.collector.collect_dataset(
+            return self.collector.collect(
                 self.sites(), self.scale.traces_per_site, noise=noise
-            )
+            ).stacked()
 
     def run_closed_world(self, noise: Optional[NoiseHooks] = None) -> CrossValResult:
         """Collect and cross-validate the closed-world experiment."""
@@ -196,12 +186,11 @@ class FingerprintingPipeline:
     def _run_open_world(self, noise: Optional[NoiseHooks]) -> OpenWorldResult:
         x_sensitive, labels = self.collect_closed_world(noise=noise)
         open_sites = open_world(self.scale.open_world_sites)
-        x_open, open_labels = self.collector.collect_dataset(
+        x_open, open_labels = self.collector.collect(
             open_sites,
-            traces_per_site=1,
             noise=noise,
             labels=[NON_SENSITIVE_LABEL] * len(open_sites),
-        )
+        ).stacked()
         x = np.concatenate([x_sensitive, x_open])
         all_labels = list(labels) + list(open_labels)
         encoder = LabelEncoder()

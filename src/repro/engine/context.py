@@ -1,7 +1,6 @@
 """The single argument an experiment receives.
 
-``RunContext`` replaces the old ``run(scale=, seed=)`` calling
-convention: it carries the dataset scale, the base seed, the execution
+``RunContext`` carries the dataset scale, the base seed, the execution
 engine (worker pool + stage timings) and the trace cache, so experiment
 code never reaches for globals or environment variables.  Contexts are
 cheap value objects — derive variants with :meth:`with_` the way
@@ -48,9 +47,9 @@ class RunContext:
     ) -> "RunContext":
         """Context with a fresh engine (jobs from ``BIGGERFISH_JOBS``).
 
-        This is what the legacy ``run(scale=, seed=)`` shim builds, so
-        even old call sites pick up the ``--jobs`` environment knob —
-        and the fault-tolerance knobs (``BIGGERFISH_RETRIES``,
+        The standard way for scripts and tools to build a context: the
+        engine picks up the ``--jobs`` environment knob and the
+        fault-tolerance knobs (``BIGGERFISH_RETRIES``,
         ``BIGGERFISH_TASK_TIMEOUT``); caching stays opt-in.
         """
         return cls(

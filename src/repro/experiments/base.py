@@ -14,19 +14,19 @@ Modules register a context-style run function with::
     def run(ctx: RunContext, **extras) -> Table1Result: ...
 
 The decorator wraps it in a :class:`FunctionExperiment` and binds the
-module-level ``run`` name to an :class:`ExperimentHandle` — a shim that
-still accepts the pre-engine calling convention
-``run(scale, seed=...)``, so existing ``get_experiment(id)(scale=...,
-seed=...)`` call sites keep working for one release.
+module-level ``run`` name to an :class:`ExperimentHandle`.  Experiments
+take exactly one :class:`~repro.engine.context.RunContext`; the
+pre-engine ``run(scale=, seed=)`` convention was removed after its
+one-release deprecation window (build a context with
+``RunContext.default(scale=..., seed=...)`` instead).
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, Sequence
 
-from repro.config import DEFAULT, Scale
 from repro.engine.context import RunContext
 
 
@@ -104,15 +104,13 @@ class FunctionExperiment(Experiment):
 
 
 class ExperimentHandle:
-    """Callable shim over an :class:`Experiment`.
+    """Callable handle over an :class:`Experiment`.
 
-    Accepts both calling conventions:
-
-    * new — ``handle(ctx)`` / ``handle.run(ctx, **extras)``;
-    * legacy (deprecated, kept for one release) —
-      ``handle(scale, seed=0, **extras)``, which builds a default
-      :class:`RunContext` (serial engine unless ``BIGGERFISH_JOBS`` is
-      set, no cache).
+    ``handle(ctx, **extras)`` / ``handle.run(ctx, **extras)`` — one
+    :class:`RunContext` in, one :class:`ExperimentResult` out.  Passing
+    a :class:`~repro.config.Scale` (or ``scale=`` / ``seed=`` keywords)
+    raises ``TypeError``: the legacy convention was removed; build a
+    context with ``RunContext.default(scale=..., seed=...)``.
     """
 
     def __init__(self, experiment: Experiment):
@@ -127,20 +125,18 @@ class ExperimentHandle:
 
     def __call__(self, *args, **extras) -> ExperimentResult:
         ctx = extras.pop("ctx", None)
-        if args and isinstance(args[0], RunContext):
+        if args:
             if ctx is not None:
                 raise TypeError("pass the RunContext positionally or as ctx=, not both")
             ctx, args = args[0], args[1:]
-        if args and isinstance(args[0], Scale):
-            if ctx is not None:
-                raise TypeError("cannot combine a RunContext with a legacy scale")
-            scale, args = args[0], args[1:]
-            ctx = RunContext.default(scale=scale, seed=int(extras.pop("seed", 0)))
         if args:
             raise TypeError(f"unexpected positional arguments: {args!r}")
-        if ctx is None:
-            scale = extras.pop("scale", DEFAULT)
-            ctx = RunContext.default(scale=scale, seed=int(extras.pop("seed", 0)))
+        if not isinstance(ctx, RunContext):
+            raise TypeError(
+                f"{self.spec.id} takes a RunContext, got {type(ctx).__name__}; "
+                "the legacy run(scale=, seed=) convention was removed — use "
+                "RunContext.default(scale=..., seed=...)"
+            )
         return self.experiment.run(ctx, **extras)
 
     def __repr__(self) -> str:
@@ -155,7 +151,7 @@ def register(experiment_id: str, paper_ref: str = "", description: str = ""):
     """Decorator registering a ``run(ctx, **extras)`` experiment function.
 
     Returns an :class:`ExperimentHandle`, so the module-level ``run``
-    name keeps supporting the legacy ``run(scale, seed=...)`` calls.
+    name stays callable (``module.run(ctx, **extras)``).
     """
 
     def wrap(fn: Callable[..., ExperimentResult]) -> ExperimentHandle:
@@ -176,8 +172,8 @@ def register(experiment_id: str, paper_ref: str = "", description: str = ""):
 def get_experiment(experiment_id: str) -> ExperimentHandle:
     """Look up a registered experiment by id (e.g. ``"table1"``).
 
-    The handle is callable under both the legacy ``(scale=, seed=)``
-    convention and the new ``(ctx)`` one.
+    The returned handle is called with a single
+    :class:`~repro.engine.context.RunContext`.
     """
     try:
         return _REGISTRY[experiment_id]

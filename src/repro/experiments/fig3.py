@@ -65,5 +65,5 @@ def run(ctx) -> Fig3Result:
         seed=ctx.seed,
         engine=ctx.engine,
     )
-    traces = [collector.collect_trace(site) for site in marquee_sites()]
+    traces = list(collector.collect(marquee_sites()))
     return Fig3Result(traces=traces, period_ms=ctx.scale.period_ms)

@@ -68,8 +68,8 @@ def run(ctx) -> Fig4Result:
     for site in marquee_sites():
         averages = {}
         for name, collector in collectors.items():
-            traces = collector.collect_traces(site, n_runs)
-            averages[name] = average_traces(traces)
+            traces = collector.collect(site, n_runs)
+            averages[name] = average_traces(list(traces))
         rows.append(
             Fig4Row(site=site.name, correlation=pearson_r(averages["loop"], averages["sweep"]))
         )

@@ -12,6 +12,9 @@ Usage::
     biggerfish report out/
     biggerfish lint src/ tests/ --format json
     biggerfish bench --compare benchmarks/results/bench_main.json
+    biggerfish train --out model/ --scale smoke
+    biggerfish serve --artifact model/ < requests.jsonl
+    biggerfish predict --artifact model/ --scale smoke --check-direct
 
 Each experiment prints the paper table/figure it regenerates.  The CLI
 caches collected traces on disk by default (``--no-cache`` disables,
@@ -231,6 +234,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.cli import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] in ("train", "serve", "predict"):
+        # And the model-serving CLI (artifacts, batched inference).
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv)
     args = build_parser().parse_args(argv)
     if args.experiments and args.experiments[0] == "cache":
         return _cache_command(args)

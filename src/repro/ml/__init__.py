@@ -1,5 +1,12 @@
 """From-scratch numpy deep-learning stack and fast feature classifier."""
 
+from repro.ml.artifact import (
+    ArtifactError,
+    ArtifactInfo,
+    load_artifact,
+    load_info,
+    save_artifact,
+)
 from repro.ml.crossval import CrossValResult, cross_validate, stratified_kfold
 from repro.ml.encoding import LabelEncoder
 from repro.ml.features import FeatureExtractor, Standardizer, mean_pool
@@ -27,6 +34,8 @@ from repro.ml.optim import SGD, Adam, Optimizer
 from repro.ml.train import Trainer, TrainingHistory, evaluate_accuracy
 
 __all__ = [
+    "ArtifactError", "ArtifactInfo", "load_artifact", "load_info",
+    "save_artifact",
     "CrossValResult", "cross_validate", "stratified_kfold", "LabelEncoder",
     "FeatureExtractor", "Standardizer", "mean_pool", "Conv1D", "Dense",
     "ClassMetrics", "OpenWorldMetrics", "confusion_matrix", "macro_f1",

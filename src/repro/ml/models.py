@@ -31,11 +31,41 @@ from repro.ml.train import Trainer
 
 
 class Fingerprinter(Protocol):
-    """Classifier protocol consumed by the fingerprinting pipeline."""
+    """Classifier protocol consumed by the fingerprinting pipeline.
+
+    Fitted backends also persist as schema-versioned artifact
+    directories (:mod:`repro.ml.artifact`): ``save(path)`` writes one,
+    ``load(path)`` rebuilds a bit-identical model from one.
+    """
 
     def fit(self, x: np.ndarray, y: np.ndarray, n_classes: int) -> "Fingerprinter": ...
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray: ...
+
+    def save(self, path, *, classes=None, provenance=None): ...
+
+
+class _ArtifactMixin:
+    """save()/load() over :mod:`repro.ml.artifact` for both backends."""
+
+    def save(self, path, *, classes=None, provenance=None):
+        """Write this fitted model as an artifact directory at ``path``."""
+        from repro.ml.artifact import save_artifact
+
+        return save_artifact(self, path, classes=classes, provenance=provenance)
+
+    @classmethod
+    def load(cls, path):
+        """Load an artifact directory; it must hold this backend."""
+        from repro.ml.artifact import ArtifactError, load_artifact
+
+        model = load_artifact(path)
+        if not isinstance(model, cls):
+            raise ArtifactError(
+                f"artifact at {path} holds a {type(model).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return model
 
 
 def build_paper_network(
@@ -75,7 +105,7 @@ def build_paper_network(
 
 
 @dataclass
-class LstmFingerprinter:
+class LstmFingerprinter(_ArtifactMixin):
     """Paper-architecture backend (scaled widths by default)."""
 
     conv_filters: int = 32
@@ -102,6 +132,8 @@ class LstmFingerprinter:
         # rescale so the conv stack sees unit-variance inputs.
         self._input_mean = float(x.mean())
         self._input_std = float(x.std()) or 1.0
+        self._input_length = x.shape[1]
+        self._n_classes = n_classes
         x = (x - self._input_mean) / self._input_std
         rng = np.random.default_rng(self.seed)
         self._network = build_paper_network(
@@ -140,7 +172,7 @@ class LstmFingerprinter:
 
 
 @dataclass
-class FeatureFingerprinter:
+class FeatureFingerprinter(_ArtifactMixin):
     """Fast backend: engineered features + softmax regression."""
 
     extractor: FeatureExtractor = field(default_factory=FeatureExtractor)

@@ -1,0 +1,127 @@
+"""Seeded closed-loop load generator for the fingerprint server.
+
+Drives a running :class:`~repro.serve.server.FingerprintServer` with
+``clients`` concurrent threads.  Each client is *closed-loop*: it sends
+a request, waits for the result, and immediately sends the next one —
+so concurrency (not an open arrival rate) controls the offered load,
+and deeper client pools naturally produce fuller batches.  Which trace
+each client sends is a pure function of ``(seed, client index, request
+index)``, so two runs against the same server and dataset issue the
+same request stream.
+
+The report aggregates wall latency (p50/p99), per-error-code counts and
+the mean observed batch size — the numbers the ``serve.latency`` bench
+scenario records.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serve.server import FingerprintServer
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Aggregate outcome of one closed-loop load run."""
+
+    n_requests: int
+    n_ok: int
+    errors: Dict[str, int]
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+    mean_batch: float
+    duration_s: float
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.n_requests / self.duration_s if self.duration_s > 0 else 0.0
+
+    def meta(self) -> dict:
+        """Flat dict rendition (bench ``meta`` block, CLI output)."""
+        return {
+            "requests": self.n_requests,
+            "ok": self.n_ok,
+            "errors": dict(self.errors),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "mean_ms": round(self.mean_ms, 3),
+            "mean_batch": round(self.mean_batch, 2),
+            "throughput_rps": round(self.throughput_rps, 1),
+        }
+
+
+def run_load(
+    server: FingerprintServer,
+    vectors: Sequence[np.ndarray],
+    *,
+    clients: int = 4,
+    requests_per_client: int = 32,
+    seed: int = 0,
+    model: Optional[str] = None,
+    deadline_ms: Optional[float] = None,
+) -> LoadReport:
+    """Run a closed-loop load against ``server`` and summarize it."""
+    if len(vectors) == 0:
+        raise ValueError("need at least one trace vector to send")
+    if clients < 1 or requests_per_client < 1:
+        raise ValueError("clients and requests_per_client must be positive")
+    latencies: List[List[float]] = [[] for _ in range(clients)]
+    batches: List[List[int]] = [[] for _ in range(clients)]
+    outcomes: List[Dict[str, int]] = [{} for _ in range(clients)]
+
+    def client(index: int) -> None:
+        rng = np.random.default_rng([seed, 0x5E12, index])
+        picks = rng.integers(0, len(vectors), size=requests_per_client)
+        for pick in picks:
+            started = time.monotonic()
+            result = server.predict(
+                vectors[int(pick)], model=model, deadline_ms=deadline_ms
+            )
+            elapsed_ms = (time.monotonic() - started) * 1000.0
+            latencies[index].append(elapsed_ms)
+            if result.ok:
+                outcomes[index]["ok"] = outcomes[index].get("ok", 0) + 1
+                batches[index].append(result.batch_size)
+            else:
+                outcomes[index][result.error] = outcomes[index].get(result.error, 0) + 1
+
+    threads = [
+        threading.Thread(target=client, args=(i,), name=f"loadgen-{i}")
+        for i in range(clients)
+    ]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    duration = time.monotonic() - started
+    all_latencies = np.array([ms for per in latencies for ms in per])
+    all_batches = [b for per in batches for b in per]
+    errors: Dict[str, int] = {}
+    n_ok = 0
+    for per in outcomes:
+        for code, count in per.items():
+            if code == "ok":
+                n_ok += count
+            else:
+                errors[code] = errors.get(code, 0) + count
+    return LoadReport(
+        n_requests=int(all_latencies.size),
+        n_ok=n_ok,
+        errors=errors,
+        p50_ms=float(np.percentile(all_latencies, 50)),
+        p99_ms=float(np.percentile(all_latencies, 99)),
+        mean_ms=float(all_latencies.mean()),
+        mean_batch=float(np.mean(all_batches)) if all_batches else 0.0,
+        duration_s=duration,
+    )
+
+
+__all__ = ["LoadReport", "run_load"]

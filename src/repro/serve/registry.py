@@ -1,0 +1,121 @@
+"""Warm LRU registry of loaded model artifacts.
+
+The server keeps a bounded number of fingerprinters in memory.  Models
+are registered by name against an artifact directory and loaded lazily
+on first use; once the registry is full, the least-recently-used model
+is evicted and will be re-loaded from disk on its next request.  All
+operations are thread-safe — the batching worker and CLI threads share
+one registry.
+
+Registry traffic is visible through :mod:`repro.obs`:
+``serve.registry.hits`` / ``serve.registry.misses`` (loads) /
+``serve.registry.evictions``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.ml.artifact import ArtifactError, ArtifactInfo, load_artifact, load_info
+
+#: Default number of warm models.
+DEFAULT_CAPACITY = 4
+
+
+@dataclass(frozen=True)
+class LoadedModel:
+    """A warm model plus the artifact metadata it was loaded with."""
+
+    name: str
+    model: object
+    info: ArtifactInfo
+
+    @property
+    def classes(self) -> Optional[tuple]:
+        return self.info.classes
+
+
+class ModelRegistry:
+    """Name -> artifact mapping with a warm LRU cache of loaded models."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._paths: Dict[str, Path] = {}
+        self._warm: "OrderedDict[str, LoadedModel]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def add(self, name: str, artifact_path) -> ArtifactInfo:
+        """Register an artifact under ``name`` (validated, not loaded).
+
+        Reads and validates the manifest immediately so a bad path fails
+        at registration time, but defers the weight arrays to first use.
+        """
+        info = load_info(artifact_path)
+        with self._lock:
+            if name in self._paths:
+                raise ValueError(f"model {name!r} already registered")
+            self._paths[name] = Path(artifact_path)
+        return info
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._paths)
+
+    def warm_names(self) -> List[str]:
+        """Models currently resident, least recently used first."""
+        with self._lock:
+            return list(self._warm)
+
+    def get(self, name: str) -> LoadedModel:
+        """The named model, loading (and possibly evicting) as needed."""
+        with self._lock:
+            if name not in self._paths:
+                raise KeyError(
+                    f"unknown model {name!r}; registered: {sorted(self._paths)}"
+                )
+            warm = self._warm.get(name)
+            if warm is not None:
+                self._warm.move_to_end(name)
+                obs.counter("serve.registry.hits").inc()
+                return warm
+            path = self._paths[name]
+        # Load outside the lock: artifact IO can be slow and other
+        # models' requests should not stall behind it.
+        obs.counter("serve.registry.misses").inc()
+        with obs.span("serve.registry.load", model=name):
+            model = load_artifact(path)
+            info = load_info(path)
+        loaded = LoadedModel(name=name, model=model, info=info)
+        with self._lock:
+            raced = self._warm.get(name)
+            if raced is not None:  # another thread loaded it first
+                self._warm.move_to_end(name)
+                return raced
+            self._warm[name] = loaded
+            while len(self._warm) > self.capacity:
+                self._warm.popitem(last=False)
+                obs.counter("serve.registry.evictions").inc()
+        return loaded
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._paths
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._paths)
+
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "ArtifactError",
+    "LoadedModel",
+    "ModelRegistry",
+]

@@ -1,0 +1,399 @@
+"""Micro-batching fingerprinting inference server.
+
+Classifying one trace at a time wastes the vectorized kernels every
+backend is built from: a Conv1D over a batch of 32 traces costs barely
+more than over one.  :class:`FingerprintServer` exploits that by
+queueing incoming requests and draining them in batches — accumulate up
+to ``max_batch`` requests (waiting at most ``max_wait_ms`` for
+stragglers), run **one** ``predict_proba`` call, and fan the rows back
+out to the waiting callers.  Because every layer in both backends is
+row-independent, the batched probabilities are bit-identical to
+one-at-a-time calls — the tests assert this, and it is what makes the
+batcher safe to put in front of the paper's evaluation.
+
+Operational behavior:
+
+* **Backpressure** — the queue is bounded (``max_queue``); requests
+  beyond it fail fast with ``overloaded`` instead of growing latency
+  without bound.
+* **Deadlines** — a request may carry ``deadline_ms``; if it is still
+  queued when its deadline passes it resolves as ``deadline`` and never
+  occupies a batch slot.
+* **Structured errors** — every failure is a :class:`PredictResult`
+  with ``ok=False`` and an ``error`` code from :data:`ERROR_CODES`;
+  exceptions never propagate to other requests in the batch's queue.
+* **Observability** — queue depth, batch sizes, per-request latency and
+  error counts are exported through :mod:`repro.obs`, and every batch
+  runs under a ``serve.batch`` span.
+
+Defaults come from ``BIGGERFISH_SERVE_MAX_BATCH``,
+``BIGGERFISH_SERVE_MAX_WAIT_MS`` and ``BIGGERFISH_SERVE_QUEUE`` when the
+corresponding constructor arguments are omitted.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.serve.registry import LoadedModel, ModelRegistry
+
+#: Every way a request can fail, as stable machine-readable codes.
+ERROR_CODES = ("overloaded", "deadline", "model_error", "bad_input", "shutdown")
+
+MAX_BATCH_ENV_VAR = "BIGGERFISH_SERVE_MAX_BATCH"
+MAX_WAIT_ENV_VAR = "BIGGERFISH_SERVE_MAX_WAIT_MS"
+QUEUE_ENV_VAR = "BIGGERFISH_SERVE_QUEUE"
+
+
+def _env_default(var: str, fallback, convert):
+    raw = os.environ.get(var)
+    if raw is None:
+        return fallback
+    try:
+        value = convert(raw)
+    except ValueError:
+        raise ValueError(f"{var} must be a number, got {raw!r}") from None
+    return value
+
+
+@dataclass(frozen=True)
+class PredictResult:
+    """Outcome of one prediction request.
+
+    ``ok`` requests carry the winning ``label``, its ``confidence`` and
+    the full probability row; failed ones carry an ``error`` code from
+    :data:`ERROR_CODES` plus a human-readable ``detail``.
+    ``batch_size`` records how many requests shared the model call and
+    ``wait_ms`` how long this one spent queued — both are observability
+    aids, not part of the prediction.
+    """
+
+    ok: bool
+    label: Optional[str] = None
+    confidence: float = 0.0
+    probs: Optional[np.ndarray] = None
+    error: Optional[str] = None
+    detail: str = ""
+    batch_size: int = 0
+    wait_ms: float = 0.0
+
+
+def _failure(code: str, detail: str = "", wait_ms: float = 0.0) -> PredictResult:
+    assert code in ERROR_CODES
+    obs.counter(f"serve.errors.{code}").inc()
+    return PredictResult(ok=False, error=code, detail=detail, wait_ms=wait_ms)
+
+
+@dataclass
+class _Pending:
+    """One queued request, resolved by the batching worker."""
+
+    vector: np.ndarray
+    model: str
+    enqueued: float
+    deadline: Optional[float]  # absolute time.monotonic(), or None
+    done: threading.Event = field(default_factory=threading.Event)
+    result: Optional[PredictResult] = None
+
+    def resolve(self, result: PredictResult) -> None:
+        self.result = result
+        self.done.set()
+
+
+class FingerprintServer:
+    """Batched inference over a :class:`~repro.serve.registry.ModelRegistry`.
+
+    ``predict`` blocks the calling thread until its request's batch has
+    been served; many threads calling concurrently is exactly the load
+    shape that fills batches.  Use as a context manager or call
+    :meth:`start` / :meth:`stop` explicitly.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        default_model: Optional[str] = None,
+        max_batch: Optional[int] = None,
+        max_wait_ms: Optional[float] = None,
+        max_queue: Optional[int] = None,
+    ):
+        if max_batch is None:
+            max_batch = _env_default(MAX_BATCH_ENV_VAR, 32, int)
+        if max_wait_ms is None:
+            max_wait_ms = _env_default(MAX_WAIT_ENV_VAR, 2.0, float)
+        if max_queue is None:
+            max_queue = _env_default(QUEUE_ENV_VAR, 256, int)
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be positive, got {max_queue}")
+        names = registry.names()
+        if default_model is None:
+            if len(names) == 1:
+                default_model = names[0]
+            elif not names:
+                raise ValueError("registry has no models")
+        if default_model is not None and default_model not in registry:
+            raise KeyError(f"default model {default_model!r} not registered")
+        self.registry = registry
+        self.default_model = default_model
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.max_queue = max_queue
+        self._queue: "deque[_Pending]" = deque()
+        self._cond = threading.Condition()
+        self._running = False
+        self._worker: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self) -> "FingerprintServer":
+        with self._cond:
+            if self._running:
+                return self
+            self._running = True
+        self._worker = threading.Thread(
+            target=self._serve_loop, name="biggerfish-serve", daemon=True
+        )
+        self._worker.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop accepting requests and drain the queue.
+
+        Already-queued requests are still served (their deadlines
+        permitting); new submissions fail with ``shutdown``.
+        """
+        with self._cond:
+            if not self._running:
+                return
+            self._running = False
+            self._cond.notify_all()
+        if self._worker is not None:
+            self._worker.join(timeout)
+            self._worker = None
+
+    def __enter__(self) -> "FingerprintServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # request path
+
+    def submit(
+        self,
+        vector,
+        *,
+        model: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> _Pending:
+        """Enqueue one trace vector; returns a waitable pending handle."""
+        obs.counter("serve.requests").inc()
+        now = time.monotonic()
+        deadline = now + deadline_ms / 1000.0 if deadline_ms is not None else None
+        name = model if model is not None else self.default_model
+        pending = _Pending(
+            vector=np.empty(0), model=name or "", enqueued=now, deadline=deadline
+        )
+        if name is None or name not in self.registry:
+            pending.resolve(_failure("bad_input", f"unknown model {name!r}"))
+            return pending
+        try:
+            array = np.asarray(vector, dtype=np.float64)
+            if array.ndim != 1 or array.size == 0:
+                raise ValueError(f"expected a 1-D trace vector, got shape {array.shape}")
+            if not np.all(np.isfinite(array)):
+                raise ValueError("trace vector contains NaN or infinity")
+        except (TypeError, ValueError) as exc:
+            pending.resolve(_failure("bad_input", str(exc)))
+            return pending
+        pending.vector = array
+        with self._cond:
+            if not self._running:
+                pending.resolve(_failure("shutdown", "server is not running"))
+                return pending
+            if len(self._queue) >= self.max_queue:
+                pending.resolve(
+                    _failure("overloaded", f"queue full ({self.max_queue})")
+                )
+                return pending
+            self._queue.append(pending)
+            obs.gauge("serve.queue_depth").set(len(self._queue))
+            self._cond.notify()
+        return pending
+
+    def predict(
+        self,
+        vector,
+        *,
+        model: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> PredictResult:
+        """Classify one trace vector (blocks until served)."""
+        pending = self.submit(vector, model=model, deadline_ms=deadline_ms)
+        pending.done.wait()
+        return pending.result
+
+    def predict_many(
+        self,
+        vectors: Sequence,
+        *,
+        model: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> List[PredictResult]:
+        """Submit many vectors at once, wait for all results.
+
+        Submitting before waiting lets the worker pack them into full
+        batches — the natural bulk-classification entry point.
+        """
+        handles = [
+            self.submit(v, model=model, deadline_ms=deadline_ms) for v in vectors
+        ]
+        for handle in handles:
+            handle.done.wait()
+        return [handle.result for handle in handles]
+
+    # ------------------------------------------------------------------
+    # batching worker
+
+    def _serve_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._run_batch(batch)
+
+    def _next_batch(self) -> Optional[List[_Pending]]:
+        """Block for the next batch; None when stopped and drained."""
+        with self._cond:
+            while not self._queue:
+                if not self._running:
+                    return None
+                self._cond.wait(0.1)
+            first = self._queue.popleft()
+        batch = [first]
+        wait_until = time.monotonic() + self.max_wait_ms / 1000.0
+        while len(batch) < self.max_batch:
+            with self._cond:
+                batch.extend(
+                    self._take_matching(first.model, self.max_batch - len(batch))
+                )
+                if len(batch) >= self.max_batch:
+                    break
+                remaining = wait_until - time.monotonic()
+                if remaining <= 0 or not self._running:
+                    break
+                self._cond.wait(remaining)
+        with self._cond:
+            obs.gauge("serve.queue_depth").set(len(self._queue))
+        return batch
+
+    def _take_matching(self, model: str, budget: int) -> List[_Pending]:
+        """Pop up to ``budget`` queued requests for ``model`` (in order).
+
+        Requests for other models keep their relative order and stay
+        queued for a later batch.  Caller holds the lock.
+        """
+        taken: List[_Pending] = []
+        kept: List[_Pending] = []
+        while self._queue and len(taken) < budget:
+            pending = self._queue.popleft()
+            (taken if pending.model == model else kept).append(pending)
+        for pending in reversed(kept):
+            self._queue.appendleft(pending)
+        return taken
+
+    def _run_batch(self, batch: List[_Pending]) -> None:
+        now = time.monotonic()
+        live: List[_Pending] = []
+        for pending in batch:
+            if pending.deadline is not None and now > pending.deadline:
+                pending.resolve(
+                    _failure(
+                        "deadline",
+                        f"expired after {(now - pending.enqueued) * 1000.0:.1f} ms in queue",
+                        wait_ms=(now - pending.enqueued) * 1000.0,
+                    )
+                )
+            else:
+                live.append(pending)
+        if not live:
+            return
+        model_name = live[0].model
+        try:
+            loaded = self.registry.get(model_name)
+        except KeyError as exc:
+            for pending in live:
+                pending.resolve(_failure("bad_input", str(exc)))
+            return
+        obs.counter("serve.batches").inc()
+        obs.histogram("serve.batch_size").observe(float(len(live)))
+        try:
+            with obs.span("serve.batch", model=model_name, size=len(live)):
+                probs = self._classify(loaded, [p.vector for p in live])
+        except Exception as exc:  # noqa: BLE001 - every failure becomes a result
+            detail = f"{type(exc).__name__}: {exc}"
+            for pending in live:
+                pending.resolve(_failure("model_error", detail))
+            return
+        done = time.monotonic()
+        for pending, row in zip(live, probs):
+            index = int(row.argmax())
+            if loaded.classes is not None and index < len(loaded.classes):
+                label = loaded.classes[index]
+            else:
+                label = str(index)
+            wait_ms = (done - pending.enqueued) * 1000.0
+            obs.histogram("serve.latency_ms").observe(wait_ms)
+            pending.resolve(
+                PredictResult(
+                    ok=True,
+                    label=label,
+                    confidence=float(row[index]),
+                    probs=row,
+                    batch_size=len(live),
+                    wait_ms=wait_ms,
+                )
+            )
+
+    @staticmethod
+    def _classify(loaded: LoadedModel, vectors: List[np.ndarray]) -> np.ndarray:
+        lengths = {len(v) for v in vectors}
+        if len(lengths) != 1:
+            raise ValueError(f"mixed trace lengths in batch: {sorted(lengths)}")
+        x = np.stack(vectors)
+        probs = loaded.model.predict_proba(x)
+        if probs.shape[0] != len(vectors):
+            raise ValueError(
+                f"model returned {probs.shape[0]} rows for {len(vectors)} requests"
+            )
+        return probs
+
+
+__all__ = [
+    "ERROR_CODES",
+    "MAX_BATCH_ENV_VAR",
+    "MAX_WAIT_ENV_VAR",
+    "QUEUE_ENV_VAR",
+    "FingerprintServer",
+    "PredictResult",
+]

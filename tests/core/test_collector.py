@@ -33,19 +33,19 @@ def site():
 
 class TestCollectTrace:
     def test_trace_covers_horizon(self, collector, site):
-        trace = collector.collect_trace(site)
+        trace = collector.collect(site)[0]
         assert trace.observed_starts.max() <= SHORT_CHROME.horizon_ns
         # With P = 5 ms over 3 s, close to 600 periods fit.
         assert len(trace) > 500
 
     def test_counters_non_negative_integers(self, collector, site):
-        trace = collector.collect_trace(site)
+        trace = collector.collect(site)[0]
         assert trace.counters.min() >= 0
         np.testing.assert_array_equal(trace.counters, np.floor(trace.counters))
 
     def test_counter_band_matches_paper(self, collector, site):
         """Fig 3's 21k-27k band (at P=5ms), allowing turbo headroom."""
-        vector = collector.collect_trace(site).to_vector()
+        vector = collector.collect(site)[0].to_vector()
         assert 24_000 <= vector.max() <= 29_000
         # Typical values sit in the paper's band; isolated periods can
         # dip further when a long gap spans a period boundary.
@@ -53,18 +53,18 @@ class TestCollectTrace:
         assert np.percentile(vector, 5) >= 12_000
 
     def test_label_and_attacker_recorded(self, collector, site):
-        trace = collector.collect_trace(site)
+        trace = collector.collect(site)[0]
         assert trace.label == "nytimes.com"
         assert trace.attacker == "loop-counting"
 
     def test_deterministic_per_trace_index(self, collector, site):
-        a = collector.collect_trace(site, trace_index=3)
-        b = collector.collect_trace(site, trace_index=3)
+        a = collector.collect(site, start_index=3)[0]
+        b = collector.collect(site, start_index=3)[0]
         np.testing.assert_array_equal(a.counters, b.counters)
 
     def test_trace_indices_differ(self, collector, site):
-        a = collector.collect_trace(site, trace_index=0)
-        b = collector.collect_trace(site, trace_index=1)
+        a = collector.collect(site, start_index=0)[0]
+        b = collector.collect(site, start_index=1)[0]
         assert not np.array_equal(a.counters, b.counters)
 
     def test_sweep_attacker_counts_small(self, site):
@@ -72,14 +72,14 @@ class TestCollectTrace:
             MachineConfig(os=LINUX), SHORT_CHROME,
             attacker=SweepCountingAttacker(), seed=5,
         )
-        vector = collector.collect_trace(site).to_vector()
+        vector = collector.collect(site)[0].to_vector()
         assert vector.max() <= 60
 
     def test_native_timer_period_boundaries_exact(self, site):
         collector = TraceCollector(
             MachineConfig(os=LINUX), SHORT_CHROME, timer=NATIVE_TIMER, seed=5
         )
-        trace = collector.collect_trace(site)
+        trace = collector.collect(site)[0]
         starts = trace.observed_starts
         diffs = np.diff(starts)
         # Precise timer: periods are P plus only gap spill-over.
@@ -91,7 +91,7 @@ class TestCollectTrace:
             MachineConfig(os=LINUX), SHORT_CHROME,
             timer=RANDOMIZED_DEFENSE_TIMER, seed=5,
         )
-        trace = collector.collect_trace(site)
+        trace = collector.collect(site)[0]
         assert len(trace) > 5
 
 
@@ -101,19 +101,19 @@ class TestNoiseHooks:
             MachineConfig(os=LINUX), SHORT_CHROME,
             attacker=SweepCountingAttacker(), seed=5,
         )
-        quiet = collector.collect_trace(site)
-        noisy = collector.collect_trace(
+        quiet = collector.collect(site)[0]
+        noisy = collector.collect(
             site, noise=NoiseHooks(occupancy_floor=0.9)
-        )
+        )[0]
         # High occupancy floor slows every sweep -> lower counters.
         assert noisy.to_vector().mean() < quiet.to_vector().mean()
 
     def test_interrupt_injector_reduces_counters(self, collector, site):
-        quiet = collector.collect_trace(site)
-        noisy = collector.collect_trace(
+        quiet = collector.collect(site)[0]
+        noisy = collector.collect(
             site,
             noise=NoiseHooks(interrupt_injector=SpuriousInterruptInjector()),
-        )
+        )[0]
         assert noisy.to_vector().mean() < quiet.to_vector().mean()
 
     def test_extra_timelines_merge(self, collector, site):
@@ -121,25 +121,74 @@ class TestNoiseHooks:
             [ActivityBurst(0, SHORT_CHROME.horizon_ns, BurstKind.COMPUTE, 0.8)],
             SHORT_CHROME.horizon_ns,
         )
-        quiet = collector.collect_trace(site)
-        noisy = collector.collect_trace(
+        quiet = collector.collect(site)[0]
+        noisy = collector.collect(
             site, noise=NoiseHooks(extra_timelines=(background,))
-        )
+        )[0]
         assert noisy.to_vector().mean() < quiet.to_vector().mean()
 
 
-class TestCollectDataset:
+class TestCollect:
     def test_shapes_and_labels(self, collector):
         sites = [profile_for("amazon.com"), profile_for("weather.com")]
-        x, labels = collector.collect_dataset(sites, traces_per_site=3)
+        x, labels = collector.collect(sites, traces_per_site=3).stacked()
         assert x.shape == (6, collector.spec.n_samples)
         assert labels == ["amazon.com"] * 3 + ["weather.com"] * 3
 
     def test_custom_labels(self, collector):
         sites = [profile_for("amazon.com")]
-        _, labels = collector.collect_dataset(sites, 2, labels=["custom"])
+        batch = collector.collect(sites, 2, labels=["custom"])
+        _, labels = batch.stacked()
         assert labels == ["custom", "custom"]
 
     def test_zero_traces_rejected(self, collector):
         with pytest.raises(ValueError):
-            collector.collect_dataset([profile_for("amazon.com")], 0)
+            collector.collect([profile_for("amazon.com")], 0)
+
+    def test_empty_sites_rejected(self, collector):
+        with pytest.raises(ValueError, match="at least one site"):
+            collector.collect([], 1)
+
+    def test_label_count_mismatch_rejected(self, collector):
+        with pytest.raises(ValueError):
+            collector.collect([profile_for("amazon.com")], 1, labels=["a", "b"])
+
+    def test_batch_is_sequence(self, collector, site):
+        batch = collector.collect(site, 3)
+        assert len(batch) == 3
+        assert list(batch)[1] is batch[1]
+        tail = batch[1:]
+        assert len(tail) == 2 and tail[0] is batch[1]
+
+    def test_start_index_continues_sequence(self, collector, site):
+        first = collector.collect(site, 2)
+        rest = collector.collect(site, 2, start_index=2)
+        whole = collector.collect(site, 4)
+        for got, want in zip(list(first) + list(rest), whole):
+            np.testing.assert_array_equal(got.counters, want.counters)
+
+
+class TestDeprecatedShims:
+    """One-release shims: old names warn and delegate to collect()."""
+
+    def test_collect_trace_warns_and_matches(self, collector, site):
+        with pytest.warns(DeprecationWarning, match="collect_trace"):
+            old = collector.collect_trace(site, trace_index=3)
+        new = collector.collect(site, start_index=3)[0]
+        np.testing.assert_array_equal(old.counters, new.counters)
+
+    def test_collect_traces_warns_and_matches(self, collector, site):
+        with pytest.warns(DeprecationWarning, match="collect_traces"):
+            old = collector.collect_traces(site, 2)
+        new = collector.collect(site, 2)
+        assert isinstance(old, list) and len(old) == 2
+        for got, want in zip(old, new):
+            np.testing.assert_array_equal(got.counters, want.counters)
+
+    def test_collect_dataset_warns_and_matches(self, collector):
+        sites = [profile_for("amazon.com"), profile_for("weather.com")]
+        with pytest.warns(DeprecationWarning, match="collect_dataset"):
+            old_x, old_labels = collector.collect_dataset(sites, traces_per_site=2)
+        new_x, new_labels = collector.collect(sites, 2).stacked()
+        np.testing.assert_array_equal(old_x, new_x)
+        assert old_labels == new_labels

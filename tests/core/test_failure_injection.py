@@ -37,7 +37,7 @@ class TestDegenerateTimer:
         collector = TraceCollector(
             MachineConfig(), SHORT, timer=FrozenSpec(), seed=1
         )
-        trace = collector.collect_trace(profile_for("amazon.com"))
+        trace = collector.collect(profile_for("amazon.com"))[0]
         # The fallback advances one nominal period at a time.
         assert 150 <= len(trace) <= 250
 

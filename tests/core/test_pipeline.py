@@ -79,7 +79,7 @@ class TestLstmBackendPipeline:
 
 
 class TestPipelineApi:
-    """Keyword-only construction, from_spec, and the period_ms deprecation."""
+    """Keyword-only construction and from_spec; period_ms= is gone."""
 
     def test_positional_config_rejected(self, tiny_scale_module):
         with pytest.raises(TypeError):
@@ -87,13 +87,18 @@ class TestPipelineApi:
                 MachineConfig(os=LINUX), CHROME, None, tiny_scale_module
             )
 
-    def test_period_ms_deprecated_but_mapped(self, tiny_scale_module):
-        with pytest.warns(DeprecationWarning, match="period_ms"):
-            pipe = FingerprintingPipeline(
+    def test_period_ms_kwarg_removed(self, tiny_scale_module):
+        with pytest.raises(TypeError):
+            FingerprintingPipeline(
                 MachineConfig(os=LINUX), CHROME,
                 scale=tiny_scale_module, period_ms=20.0, seed=3,
             )
-        assert pipe.scale.period_ms == 20.0
+
+    def test_period_comes_from_scale(self, tiny_scale_module):
+        pipe = FingerprintingPipeline(
+            MachineConfig(os=LINUX), CHROME,
+            scale=tiny_scale_module.with_(period_ms=20.0), seed=3,
+        )
         assert pipe.collector.period_ns == 20_000_000
 
     def test_from_spec_inherits_context(self, tiny_scale_module):

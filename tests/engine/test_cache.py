@@ -127,7 +127,7 @@ class TestTraceCacheRoundTrip:
             return TraceCollector(
                 MachineConfig(os=LINUX), CHROME,
                 period_ns=10_000_000, seed=5, cache=cache,
-            ).collect_dataset(sites, traces_per_site=2)
+            ).collect(sites, traces_per_site=2).stacked()
 
         x_cold, y_cold = collect()
         assert cache.stats.puts == 4
@@ -152,7 +152,7 @@ class TestTraceCacheRoundTrip:
             return TraceCollector(
                 MachineConfig(os=LINUX), CHROME,
                 period_ns=10_000_000, seed=5, cache=cache,
-            ).collect_dataset([site], traces_per_site=2, labels=["other"])
+            ).collect([site], traces_per_site=2, labels=["other"]).stacked()
 
         _, y_cold = collect()
         _, y_warm = collect()
@@ -202,7 +202,7 @@ class TestCacheInvalidation:
         noise = NoiseHooks(interrupt_injector=Opaque())
         assert collector._cache_key(profile_for("nytimes.com"), 0, noise) is None
         # Collection still works, just without caching.
-        trace = collector.collect_trace(profile_for("nytimes.com"), 0, noise)
+        trace = collector.collect(profile_for("nytimes.com"), noise=noise)[0]
         assert len(trace.counters) > 0
         assert collector.cache.stats.puts == 0
 
@@ -337,7 +337,7 @@ class TestEngineCacheIntegration:
                 period_ns=10_000_000, seed=9,
                 engine=ExecutionEngine(jobs=2, cache=cache),
             )
-            return collector.collect_traces(site, 3)
+            return list(collector.collect(site, 3))
 
         cold = collect()
         assert cache.stats.puts == 3 and cache.stats.hits == 0

@@ -235,7 +235,7 @@ class TestParallelDeterminism:
                 period_ns=10_000_000, seed=3,
                 engine=ExecutionEngine(jobs=jobs),
             )
-            return collector.collect_traces(site, 4)
+            return list(collector.collect(site, 4))
 
         for a, b in zip(collect(1), collect(2)):
             np.testing.assert_array_equal(a.counters, b.counters)

@@ -261,7 +261,7 @@ class TestPipelineUnderFaults:
                 period_ns=10_000_000, seed=3,
                 engine=ExecutionEngine(jobs=jobs, backoff_s=0.001),
             )
-            return collector.collect_traces(site, 6)
+            return list(collector.collect(site, 6))
 
         clean = collect(1)
         plan = FaultPlan(rate=0.4, modes=("raise",), seed=2)

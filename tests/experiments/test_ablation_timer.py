@@ -3,12 +3,13 @@
 import pytest
 
 from repro.experiments import ablation_timer
+from repro.engine import RunContext
 from tests.conftest import TINY
 
 
 @pytest.fixture(scope="module")
 def result():
-    return ablation_timer.run(TINY, seed=3)
+    return ablation_timer.run(RunContext.default(scale=TINY, seed=3))
 
 
 class TestAblationTimer:

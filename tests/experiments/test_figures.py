@@ -6,13 +6,14 @@ import pytest
 from repro.experiments import fig3, fig4, fig5, fig6, fig7, fig8
 from repro.sim.events import US
 from repro.sim.interrupts import InterruptType
+from repro.engine import RunContext
 from tests.conftest import TINY
 
 
 class TestFig3:
     @pytest.fixture(scope="class")
     def result(self):
-        return fig3.run(TINY, seed=4)
+        return fig3.run(RunContext.default(scale=TINY, seed=4))
 
     def test_three_marquee_traces(self, result):
         assert [t.label for t in result.traces] == [
@@ -34,7 +35,7 @@ class TestFig3:
 class TestFig4:
     @pytest.fixture(scope="class")
     def result(self):
-        return fig4.run(TINY.with_(traces_per_site=6), seed=4)
+        return fig4.run(RunContext.default(scale=TINY.with_(traces_per_site=6), seed=4))
 
     def test_correlations_strong(self, result):
         """Loop and sweep traces are shaped by the same system events."""
@@ -50,7 +51,7 @@ class TestFig4:
 class TestFig5:
     @pytest.fixture(scope="class")
     def result(self):
-        return fig5.run(TINY.with_(trace_seconds=6.0), seed=4)
+        return fig5.run(RunContext.default(scale=TINY.with_(trace_seconds=6.0), seed=4))
 
     def test_attribution_over_99(self, result):
         assert result.attributed_fraction > 0.99
@@ -75,7 +76,7 @@ class TestFig5:
 class TestFig6:
     @pytest.fixture(scope="class")
     def result(self):
-        return fig6.run(TINY.with_(trace_seconds=4.0), seed=4)
+        return fig6.run(RunContext.default(scale=TINY.with_(trace_seconds=4.0), seed=4))
 
     def test_meltdown_floor(self, result):
         for hist in result.histograms.values():
@@ -103,7 +104,7 @@ class TestFig6:
 class TestFig7:
     @pytest.fixture(scope="class")
     def result(self):
-        return fig7.run(TINY, seed=4)
+        return fig7.run(RunContext.default(scale=TINY, seed=4))
 
     def test_all_monotonic(self, result):
         assert all(s.monotonic for s in result.samples)
@@ -124,7 +125,7 @@ class TestFig7:
 class TestFig8:
     @pytest.fixture(scope="class")
     def result(self):
-        return fig8.run(TINY, seed=4, n_periods=300)
+        return fig8.run(RunContext.default(scale=TINY, seed=4), n_periods=300)
 
     def test_quantized_exact_100ms(self, result):
         sample = result.sample_for("Quantized")

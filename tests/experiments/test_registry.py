@@ -49,38 +49,40 @@ class TestRegistry:
 
 
 class TestExperimentHandle:
-    """The shim keeps the legacy run(scale, seed=...) convention alive."""
+    """Handles take exactly one RunContext; the legacy shim is gone."""
 
     def test_handles_are_registered(self):
         assert isinstance(get_experiment("fig7"), ExperimentHandle)
-
-    def test_legacy_positional_scale(self):
-        result = get_experiment("fig7")(TINY, seed=2)
-        assert "Figure 7" in result.format_table()
-
-    def test_legacy_keyword_scale(self):
-        result = get_experiment("fig7")(scale=TINY, seed=2)
-        assert "Figure 7" in result.format_table()
 
     def test_context_call(self):
         ctx = RunContext(scale=TINY, seed=2)
         assert "Figure 7" in get_experiment("fig7")(ctx).format_table()
 
-    def test_context_and_scale_conflict(self):
+    def test_context_keyword_call(self):
         ctx = RunContext(scale=TINY, seed=2)
-        with pytest.raises(TypeError):
+        assert "Figure 7" in get_experiment("fig7")(ctx=ctx).format_table()
+
+    def test_legacy_positional_scale_rejected(self):
+        with pytest.raises(TypeError, match="RunContext"):
+            get_experiment("fig7")(TINY, seed=2)
+
+    def test_missing_context_rejected(self):
+        with pytest.raises(TypeError, match="RunContext"):
+            get_experiment("fig7")()
+
+    def test_context_and_ctx_keyword_conflict(self):
+        ctx = RunContext(scale=TINY, seed=2)
+        with pytest.raises(TypeError, match="not both"):
+            get_experiment("fig7")(ctx, ctx=ctx)
+
+    def test_extra_positionals_rejected(self):
+        ctx = RunContext(scale=TINY, seed=2)
+        with pytest.raises(TypeError, match="unexpected positional"):
             get_experiment("fig7")(ctx, TINY)
 
     def test_extras_forwarded(self):
-        result = get_experiment("fig7")(TINY, seed=2, window_ms=50.0)
+        result = get_experiment("fig7")(RunContext(scale=TINY, seed=2), window_ms=50.0)
         assert result.window_ms == 50.0
-
-    def test_legacy_and_context_calls_agree(self):
-        legacy = get_experiment("fig8")(TINY, seed=3, n_periods=50)
-        modern = get_experiment("fig8")(
-            RunContext(scale=TINY, seed=3), n_periods=50
-        )
-        assert legacy.format_table() == modern.format_table()
 
 
 class TestFormatting:

@@ -9,6 +9,7 @@ import pytest
 
 from repro.experiments import table1, table2, table3, table4
 from repro.workload.browser import CHROME, LINUX
+from repro.engine import RunContext
 from tests.conftest import TINY
 
 
@@ -16,7 +17,8 @@ class TestTable1:
     @pytest.fixture(scope="class")
     def result(self):
         return table1.run(
-            TINY, seed=4, configs=[(CHROME, LINUX)], open_world=True
+            RunContext.default(scale=TINY, seed=4),
+            configs=[(CHROME, LINUX)], open_world=True
         )
 
     def test_row_fields(self, result):
@@ -48,7 +50,8 @@ class TestTable1:
 
     def test_closed_only_mode(self):
         result = table1.run(
-            TINY, seed=4, configs=[(CHROME, LINUX)], open_world=False
+            RunContext.default(scale=TINY, seed=4),
+            configs=[(CHROME, LINUX)], open_world=False
         )
         assert result.rows[0].loop_open is None
         assert "OW" not in result.format_table()
@@ -60,7 +63,7 @@ class TestTable1:
 class TestTable2:
     @pytest.fixture(scope="class")
     def result(self):
-        return table2.run(TINY, seed=4)
+        return table2.run(RunContext.default(scale=TINY, seed=4))
 
     def test_both_attacks_present(self, result):
         assert [r.attack for r in result.rows] == ["loop-counting", "sweep-counting"]
@@ -76,7 +79,7 @@ class TestTable2:
 class TestTable3:
     @pytest.fixture(scope="class")
     def result(self):
-        return table3.run(TINY, seed=4)
+        return table3.run(RunContext.default(scale=TINY, seed=4))
 
     def test_five_rungs(self, result):
         assert len(result.rows) == 5
@@ -95,7 +98,7 @@ class TestTable3:
 class TestTable4:
     @pytest.fixture(scope="class")
     def result(self):
-        return table4.run(TINY, seed=4)
+        return table4.run(RunContext.default(scale=TINY, seed=4))
 
     def test_five_rows(self, result):
         names = [(r.timer_name, r.period_ms) for r in result.rows]

@@ -1,0 +1,175 @@
+"""Tests for schema-versioned model artifacts (save/load round trips)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ml.artifact import (
+    ARTIFACT_JSON,
+    SCHEMA_VERSION,
+    WEIGHTS_NPZ,
+    ArtifactError,
+    load_artifact,
+    load_info,
+    save_artifact,
+)
+from repro.ml.models import FeatureFingerprinter, LstmFingerprinter
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(7)
+    profiles = rng.normal(0.0, 0.3, size=(4, 160))
+    x = np.concatenate(
+        [1.0 + profiles[c] + rng.normal(0.0, 0.05, size=(12, 160)) for c in range(4)]
+    )
+    y = np.repeat(np.arange(4), 12)
+    return x, y
+
+
+@pytest.fixture(scope="module")
+def feature_model(dataset):
+    x, y = dataset
+    return FeatureFingerprinter(seed=3).fit(x, y, 4)
+
+
+@pytest.fixture(scope="module")
+def lstm_model(dataset):
+    x, y = dataset
+    return LstmFingerprinter(
+        conv_filters=4, lstm_units=4, epochs=2, seed=3
+    ).fit(x, y, 4)
+
+
+CLASSES = ["a.com", "b.com", "c.com", "d.com"]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("which", ["feature", "lstm"])
+    def test_bit_identical_predictions(self, which, dataset, feature_model, lstm_model, tmp_path):
+        x, _ = dataset
+        model = feature_model if which == "feature" else lstm_model
+        model.save(tmp_path / which, classes=CLASSES)
+        clone = load_artifact(tmp_path / which)
+        np.testing.assert_array_equal(
+            model.predict_proba(x), clone.predict_proba(x)
+        )
+
+    def test_typed_load_matches(self, dataset, feature_model, tmp_path):
+        x, _ = dataset
+        feature_model.save(tmp_path / "m")
+        clone = FeatureFingerprinter.load(tmp_path / "m")
+        np.testing.assert_array_equal(
+            feature_model.predict_proba(x), clone.predict_proba(x)
+        )
+
+    def test_typed_load_rejects_other_backend(self, feature_model, tmp_path):
+        feature_model.save(tmp_path / "m")
+        with pytest.raises(ArtifactError, match="FeatureFingerprinter"):
+            LstmFingerprinter.load(tmp_path / "m")
+
+    def test_info_records_provenance(self, feature_model, tmp_path):
+        import repro
+
+        feature_model.save(
+            tmp_path / "m",
+            classes=CLASSES,
+            provenance={"seed": 3, "scale": "smoke"},
+        )
+        info = load_info(tmp_path / "m")
+        assert info.schema_version == SCHEMA_VERSION
+        assert info.backend == "feature"
+        assert info.repro_version == repro.__version__
+        assert info.classes == tuple(CLASSES)
+        assert info.n_classes == 4
+        assert info.provenance == {"seed": 3, "scale": "smoke"}
+        assert info.config["seed"] == 3
+
+    def test_manifest_is_stable_json(self, feature_model, tmp_path):
+        feature_model.save(tmp_path / "a", classes=CLASSES)
+        feature_model.save(tmp_path / "b", classes=CLASSES)
+        assert (tmp_path / "a" / ARTIFACT_JSON).read_text() == (
+            tmp_path / "b" / ARTIFACT_JSON
+        ).read_text()
+
+
+class TestValidation:
+    def test_unfitted_model_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError, match="unfitted"):
+            FeatureFingerprinter().save(tmp_path / "m")
+
+    def test_class_count_mismatch_rejected(self, feature_model, tmp_path):
+        with pytest.raises(ArtifactError, match="class"):
+            feature_model.save(tmp_path / "m", classes=["only", "two"])
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError, match="missing"):
+            load_info(tmp_path / "nope")
+
+    def test_corrupted_manifest_rejected(self, feature_model, tmp_path):
+        feature_model.save(tmp_path / "m")
+        (tmp_path / "m" / ARTIFACT_JSON).write_text("{not json")
+        with pytest.raises(ArtifactError, match="corrupted"):
+            load_info(tmp_path / "m")
+
+    def test_future_schema_rejected(self, feature_model, tmp_path):
+        feature_model.save(tmp_path / "m")
+        manifest = tmp_path / "m" / ARTIFACT_JSON
+        document = json.loads(manifest.read_text())
+        document["schema_version"] = SCHEMA_VERSION + 1
+        manifest.write_text(json.dumps(document))
+        with pytest.raises(ArtifactError, match="unsupported artifact schema"):
+            load_artifact(tmp_path / "m")
+
+    def test_unknown_backend_rejected(self, feature_model, tmp_path):
+        feature_model.save(tmp_path / "m")
+        manifest = tmp_path / "m" / ARTIFACT_JSON
+        document = json.loads(manifest.read_text())
+        document["backend"] = "tensorflow"
+        manifest.write_text(json.dumps(document))
+        with pytest.raises(ArtifactError, match="unknown artifact backend"):
+            load_artifact(tmp_path / "m")
+
+    def test_missing_weights_rejected(self, feature_model, tmp_path):
+        feature_model.save(tmp_path / "m")
+        (tmp_path / "m" / WEIGHTS_NPZ).unlink()
+        with pytest.raises(ArtifactError, match=WEIGHTS_NPZ):
+            load_artifact(tmp_path / "m")
+
+    def test_truncated_weights_rejected(self, feature_model, tmp_path):
+        feature_model.save(tmp_path / "m")
+        weights = tmp_path / "m" / WEIGHTS_NPZ
+        weights.write_bytes(weights.read_bytes()[:20])
+        with pytest.raises(ArtifactError):
+            load_artifact(tmp_path / "m")
+
+    def test_missing_array_rejected(self, feature_model, tmp_path):
+        feature_model.save(tmp_path / "m")
+        weights = tmp_path / "m" / WEIGHTS_NPZ
+        with np.load(weights) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        del arrays["softmax.W"]
+        with open(weights, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(ArtifactError, match="softmax.W"):
+            load_artifact(tmp_path / "m")
+
+    def test_lstm_weight_key_mismatch_rejected(self, lstm_model, tmp_path):
+        lstm_model.save(tmp_path / "m")
+        weights = tmp_path / "m" / WEIGHTS_NPZ
+        with np.load(weights) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        # Re-key one parameter to a layer the architecture doesn't have.
+        key = sorted(arrays)[0]
+        arrays["L99." + key.partition(".")[2]] = arrays.pop(key)
+        with open(weights, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(ArtifactError, match="architecture"):
+            load_artifact(tmp_path / "m")
+
+
+class TestSaveArtifactFunction:
+    def test_non_fingerprinter_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError, match="no artifact backend"):
+            save_artifact(object(), tmp_path / "m")

@@ -1,0 +1,118 @@
+"""Tests for the train/serve/predict CLI and runner dispatch."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import runner
+from repro.serve import cli
+
+
+class TestDispatch:
+    def test_runner_dispatches_serve_subcommands(self, monkeypatch):
+        seen = {}
+
+        def fake_main(argv):
+            seen["argv"] = argv
+            return 0
+
+        monkeypatch.setattr("repro.serve.cli.main", fake_main)
+        assert runner.main(["predict", "--artifact", "x"]) == 0
+        assert seen["argv"] == ["predict", "--artifact", "x"]
+
+    def test_parser_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["deploy"])
+
+    def test_missing_artifact_is_clean_error(self, tmp_path, capsys):
+        """A bad --artifact path exits 2 with a one-line message, not a
+        traceback (the CLI convention for usage errors)."""
+        code = cli.main(
+            ["predict", "--artifact", str(tmp_path / "nope"), "--scale", "smoke"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("biggerfish predict:")
+        assert "Traceback" not in err
+
+
+class TestServeJsonl:
+    def _run(self, lines, artifact_dir, monkeypatch, capsys, extra=()):
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("\n".join(lines) + "\n")
+        )
+        code = cli.main(["serve", "--artifact", str(artifact_dir), *extra])
+        assert code == 0
+        out = capsys.readouterr().out
+        return [json.loads(line) for line in out.splitlines() if line.strip()]
+
+    def test_requests_answered_in_order(self, artifact_dir, dataset, monkeypatch, capsys):
+        x, _ = dataset
+        lines = [
+            json.dumps({"id": i, "vector": list(x[i])}) for i in range(3)
+        ]
+        responses = self._run(lines, artifact_dir, monkeypatch, capsys)
+        assert [r["id"] for r in responses] == [0, 1, 2]
+        assert all(r["ok"] for r in responses)
+        assert all("label" in r and "confidence" in r for r in responses)
+
+    def test_probs_flag_includes_rows(self, artifact_dir, dataset, monkeypatch, capsys):
+        x, _ = dataset
+        lines = [json.dumps({"vector": list(x[0])})]
+        responses = self._run(
+            lines, artifact_dir, monkeypatch, capsys, extra=("--probs",)
+        )
+        assert len(responses[0]["probs"]) == 4
+        assert abs(sum(responses[0]["probs"]) - 1.0) < 1e-9
+
+    def test_malformed_lines_reported_not_fatal(self, artifact_dir, dataset, monkeypatch, capsys):
+        x, _ = dataset
+        lines = ["{not json", json.dumps({"id": 1, "vector": list(x[0])})]
+        responses = self._run(lines, artifact_dir, monkeypatch, capsys)
+        assert responses[0]["ok"] is False and responses[0]["error"] == "bad_input"
+        assert responses[1]["ok"] is True
+
+    def test_named_artifact_spec(self, artifact_dir, dataset, monkeypatch, capsys):
+        x, _ = dataset
+        lines = [json.dumps({"vector": list(x[0]), "model": "fish"})]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        code = cli.main(["serve", "--artifact", f"fish={artifact_dir}"])
+        assert code == 0
+        response = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert response["ok"] is True
+
+
+class TestPredictCommand:
+    def test_check_direct_on_synthetic_artifact(self, tmp_path, capsys):
+        """End to end through real smoke-scale collection: an artifact
+        trained on matching-length synthetic traces classifies freshly
+        collected eval traces through the batched server, bit-identical
+        to direct evaluation."""
+        from repro.config import SMOKE
+        from repro.core.pipeline import FingerprintingPipeline
+        from repro.ml.models import FeatureFingerprinter
+        from repro.sim.machine import MachineConfig
+        from repro.workload.browser import CHROME
+
+        pipeline = FingerprintingPipeline(
+            MachineConfig(), CHROME, scale=SMOKE, seed=0
+        )
+        length = pipeline.collector.spec.n_samples
+        sites = [site.name for site in pipeline.sites()]
+        rng = np.random.default_rng(5)
+        x = rng.normal(1.0, 0.05, size=(4 * len(sites), length))
+        y = np.repeat(np.arange(len(sites)), 4)
+        model = FeatureFingerprinter(seed=5).fit(x, y, len(sites))
+        artifact = tmp_path / "model"
+        model.save(artifact, classes=sorted(sites))
+        code = cli.main(
+            [
+                "predict", "--artifact", str(artifact), "--scale", "smoke",
+                "--seed", "0", "--traces", "1", "--check-direct",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bit-identical" in out

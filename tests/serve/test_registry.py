@@ -1,0 +1,56 @@
+"""Tests for the warm LRU model registry."""
+
+import pytest
+
+from repro.ml.artifact import ArtifactError
+from repro.serve.registry import ModelRegistry
+
+from tests.serve.conftest import CLASSES
+
+
+class TestRegistry:
+    def test_lazy_load_and_metadata(self, registry):
+        assert registry.warm_names() == []
+        loaded = registry.get("default")
+        assert registry.warm_names() == ["default"]
+        assert loaded.classes == tuple(CLASSES)
+        assert loaded.info.backend == "feature"
+
+    def test_add_validates_manifest(self, tmp_path):
+        registry = ModelRegistry()
+        with pytest.raises(ArtifactError):
+            registry.add("bad", tmp_path / "nope")
+        assert len(registry) == 0
+
+    def test_duplicate_name_rejected(self, registry, artifact_dir):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.add("default", artifact_dir)
+
+    def test_unknown_model_raises(self, registry):
+        with pytest.raises(KeyError, match="unknown model"):
+            registry.get("nope")
+
+    def test_contains_and_names(self, registry):
+        assert "default" in registry
+        assert "other" not in registry
+        assert registry.names() == ["default"]
+
+    def test_lru_eviction(self, artifact_dir):
+        registry = ModelRegistry(capacity=2)
+        for name in ("a", "b", "c"):
+            registry.add(name, artifact_dir)
+        registry.get("a")
+        registry.get("b")
+        registry.get("a")  # refresh a: now b is the LRU
+        registry.get("c")  # evicts b
+        assert registry.warm_names() == ["a", "c"]
+        # b re-loads transparently on next use, evicting a.
+        assert registry.get("b").name == "b"
+        assert registry.warm_names() == ["c", "b"]
+
+    def test_get_returns_same_instance_while_warm(self, registry):
+        assert registry.get("default") is registry.get("default")
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ModelRegistry(capacity=0)

@@ -62,7 +62,7 @@ class TestAttackersCorrelate:
         averages = {}
         for attacker in (LoopCountingAttacker(), SweepCountingAttacker()):
             collector = TraceCollector(machine, browser, attacker=attacker, seed=3)
-            traces = [collector.collect_trace(site, trace_index=k) for k in range(8)]
+            traces = list(collector.collect(site, 8))
             averages[attacker.name] = average_traces(traces)
         r = pearson_r(averages["loop-counting"], averages["sweep-counting"])
         assert r > 0.5

@@ -7,6 +7,7 @@ import pytest
 from repro.config import SMOKE
 from repro.experiments import fig3, fig4, fig7, fig8
 from repro.viz.figures import RENDERERS, render
+from repro.engine import RunContext
 from tests.conftest import TINY
 
 
@@ -24,27 +25,27 @@ class TestRenderers:
         }
 
     def test_fig7_valid(self):
-        result = fig7.run(SMOKE, seed=1)
+        result = fig7.run(RunContext.default(scale=SMOKE, seed=1))
         svg = render("fig7", result)
         parse(svg)
         assert "Figure 7" in svg
         assert svg.count("polyline") >= 6  # ideal + observed per timer
 
     def test_fig8_valid(self):
-        result = fig8.run(SMOKE, seed=1, n_periods=200)
+        result = fig8.run(RunContext.default(scale=SMOKE, seed=1), n_periods=200)
         svg = render("fig8", result)
         parse(svg)
         assert "Randomized" in svg
 
     def test_fig3_valid(self):
-        result = fig3.run(TINY, seed=1)
+        result = fig3.run(RunContext.default(scale=TINY, seed=1))
         svg = render("fig3", result)
         parse(svg)
         assert "nytimes.com" in svg
         assert svg.count("rgb(") > 100  # heat cells
 
     def test_fig4_valid(self):
-        result = fig4.run(TINY.with_(traces_per_site=4), seed=1)
+        result = fig4.run(RunContext.default(scale=TINY.with_(traces_per_site=4), seed=1))
         svg = render("fig4", result)
         parse(svg)
         assert "weather.com" in svg
@@ -52,7 +53,7 @@ class TestRenderers:
     def test_fig5_valid(self):
         from repro.experiments import fig5
 
-        result = fig5.run(TINY.with_(trace_seconds=3.0), seed=2)
+        result = fig5.run(RunContext.default(scale=TINY.with_(trace_seconds=3.0), seed=2))
         svg = render("fig5", result)
         parse(svg)
         assert "Softirq" in svg and "Resched" in svg
@@ -60,7 +61,7 @@ class TestRenderers:
     def test_fig6_valid(self):
         from repro.experiments import fig6
 
-        result = fig6.run(TINY.with_(trace_seconds=3.0), seed=2)
+        result = fig6.run(RunContext.default(scale=TINY.with_(trace_seconds=3.0), seed=2))
         svg = render("fig6", result)
         parse(svg)
         assert "timer" in svg
@@ -68,7 +69,7 @@ class TestRenderers:
     def test_table3_valid(self):
         from repro.experiments import table3
 
-        result = table3.run(TINY, seed=2)
+        result = table3.run(RunContext.default(scale=TINY, seed=2))
         svg = render("table3", result)
         parse(svg)
         assert "isolation" in svg
@@ -76,7 +77,7 @@ class TestRenderers:
     def test_table4_valid(self):
         from repro.experiments import table4
 
-        result = table4.run(TINY, seed=2)
+        result = table4.run(RunContext.default(scale=TINY, seed=2))
         svg = render("table4", result)
         parse(svg)
         assert "timer defenses" in svg
