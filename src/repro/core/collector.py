@@ -15,15 +15,14 @@ simulating anything.  Parallel, cached and serial runs are bit-identical.
 
 ``collect()`` is the single entry point: it takes one site or many,
 a per-site trace count, and returns a :class:`TraceBatch` that behaves
-as a sequence of traces and stacks into ``(X, labels)`` on demand.  The
-pre-unification methods (``collect_trace`` / ``collect_traces`` /
-``collect_dataset``) survive as one-release ``DeprecationWarning``
-shims.
+as a sequence of traces and stacks into ``(X, labels)`` on demand.
+(The pre-unification methods ``collect_trace`` / ``collect_traces`` /
+``collect_dataset`` shipped one release as ``DeprecationWarning``
+shims and are now gone.)
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence, Union
 
@@ -165,45 +164,6 @@ class TraceCollector:
             for i, trace in enumerate(traces):
                 trace.label = labels[i // traces_per_site]
         return TraceBatch(traces=tuple(traces))
-
-    # ------------------------------------------------------------------
-    # deprecated pre-unification entry points (one-release shims)
-
-    def collect_trace(
-        self,
-        site: WebsiteProfile,
-        trace_index: int = 0,
-        noise: Optional[NoiseHooks] = None,
-    ) -> Trace:
-        """Deprecated: use ``collect(site, start_index=trace_index)[0]``."""
-        _warn_deprecated("collect_trace", "collect(site, start_index=...)[0]")
-        return self.collect(site, 1, start_index=trace_index, noise=noise)[0]
-
-    def collect_traces(
-        self,
-        site: WebsiteProfile,
-        n_traces: int,
-        noise: Optional[NoiseHooks] = None,
-    ) -> list[Trace]:
-        """Deprecated: use ``list(collect(site, n_traces))``."""
-        _warn_deprecated("collect_traces", "list(collect(site, n))")
-        return list(self.collect(site, n_traces, noise=noise))
-
-    def collect_dataset(
-        self,
-        sites: Sequence[WebsiteProfile],
-        traces_per_site: int,
-        noise: Optional[NoiseHooks] = None,
-        labels: Optional[Sequence[str]] = None,
-    ) -> tuple[np.ndarray, list[str]]:
-        """Deprecated: use ``collect(sites, traces_per_site).stacked()``."""
-        _warn_deprecated("collect_dataset", "collect(sites, n).stacked()")
-        if labels is not None and len(labels) > len(sites):
-            # The old method indexed labels per site and ignored extras.
-            labels = list(labels)[: len(sites)]
-        return self.collect(
-            sites, traces_per_site, noise=noise, labels=labels
-        ).stacked()
 
     def _collect_batch(
         self, requests: Sequence[tuple[WebsiteProfile, int, Optional[NoiseHooks]]]
@@ -361,15 +321,6 @@ class TraceCollector:
             label=label,
             attacker=self.attacker.name,
         )
-
-
-def _warn_deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"TraceCollector.{old} is deprecated and will be removed next "
-        f"release; use TraceCollector.{new} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 def _collect_task(task: tuple) -> Trace:

@@ -8,16 +8,32 @@ invariants — seeded RNG plumbing, simulated-time-only in the simulator,
 order-stable iteration — that nothing used to enforce.  This package
 turns them into machine-checked rules:
 
+The analyzer runs in two phases.  Phase 1 parses *every* file under
+the linted paths and builds a project-wide symbol table
+(:mod:`repro.lint.project`): which classes own locks, the types of
+tracked attributes, base-class links across modules, thread
+entrypoints, mutable module globals.  Phase 2 then runs each rule over
+each module with that :class:`~repro.lint.project.ProjectSummary` in
+hand, so a rule can answer cross-module questions — "does this class
+inherit a lock from a base defined in another file?" — that a
+one-file-at-a-time walker structurally cannot.
+
 * :mod:`repro.lint.walker` — file discovery, AST parsing, parent links
   and module-name resolution;
-* :mod:`repro.lint.registry` — the rule registry and ``Finding`` type;
-* :mod:`repro.lint.rules` — one module per rule (``unseeded-rng``,
-  ``wall-clock-in-sim``, ``unsorted-dir-iteration``,
-  ``set-iteration-order``, ``mutable-default-arg``,
-  ``env-dependent-hash``);
+* :mod:`repro.lint.project` — phase 1: per-class/per-module summaries
+  and the cross-module :class:`~repro.lint.project.ProjectSummary`;
+* :mod:`repro.lint.registry` — the rule registry, rule metadata
+  (family, severity) and the ``Finding`` type;
+* :mod:`repro.lint.rules` — one module per rule, in two families:
+  ``determinism`` (``unseeded-rng``, ``wall-clock-in-sim``,
+  ``unsorted-dir-iteration``, ``set-iteration-order``,
+  ``mutable-default-arg``, ``env-dependent-hash``) and
+  ``concurrency`` (``unlocked-shared-write``,
+  ``blocking-call-under-lock``, ``condition-wait-without-predicate``,
+  ``nondaemon-unjoined-thread``, ``shared-state-into-worker``);
 * :mod:`repro.lint.suppress` — inline ``# lint: disable=<rule>``
   comments and the checked-in JSON baseline for grandfathered findings;
-* :mod:`repro.lint.reporters` — text and JSON output;
+* :mod:`repro.lint.reporters` — text, JSON and SARIF 2.1.0 output;
 * :mod:`repro.lint.cli` — the ``biggerfish lint`` subcommand
   (also ``python -m repro.lint``).
 
@@ -30,7 +46,15 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.lint import rules as _rules  # noqa: F401  (rule registration)
-from repro.lint.registry import Finding, Rule, all_rules, get_rule, rule_ids
+from repro.lint.project import ProjectSummary, build_project
+from repro.lint.registry import (
+    Finding,
+    Rule,
+    all_rules,
+    get_rule,
+    rule_families,
+    rule_ids,
+)
 from repro.lint.suppress import Baseline, suppressed_rules
 from repro.lint.walker import SourceModule, discover, load_module
 
@@ -38,10 +62,13 @@ __all__ = [
     "Baseline",
     "Finding",
     "LintRun",
+    "ProjectSummary",
     "Rule",
     "all_rules",
+    "build_project",
     "get_rule",
     "lint_paths",
+    "rule_families",
     "rule_ids",
 ]
 
@@ -60,18 +87,25 @@ class LintRun:
         return not self.findings
 
 
+def _matches(rule: Rule, requested: set[str]) -> bool:
+    """A select/ignore entry matches a rule id or a whole family."""
+    return rule.id in requested or rule.family in requested
+
+
 def _select_rules(
     select: Optional[Sequence[str]], ignore: Optional[Sequence[str]]
 ) -> list[Rule]:
-    known = set(rule_ids())
+    known = set(rule_ids()) | set(rule_families())
     for requested in list(select or []) + list(ignore or []):
         if requested not in known:
             raise KeyError(requested)
     chosen = all_rules()
     if select:
-        chosen = [rule for rule in chosen if rule.id in set(select)]
+        wanted = set(select)
+        chosen = [rule for rule in chosen if _matches(rule, wanted)]
     if ignore:
-        chosen = [rule for rule in chosen if rule.id not in set(ignore)]
+        unwanted = set(ignore)
+        chosen = [rule for rule in chosen if not _matches(rule, unwanted)]
     return chosen
 
 
@@ -83,22 +117,36 @@ def lint_paths(
 ) -> LintRun:
     """Lint ``paths`` (files or directories) and return a :class:`LintRun`.
 
-    Findings suppressed by an inline ``# lint: disable=<rule>`` comment
-    or recorded in ``baseline`` are split out of ``findings`` so callers
-    can still report them.  Raises :class:`KeyError` for an unknown rule
-    id in ``select``/``ignore``.
+    Phase 1 parses every discovered file and assembles the cross-module
+    :class:`~repro.lint.project.ProjectSummary`; phase 2 runs the
+    selected rules over each module with that summary available, so
+    cross-file facts (inherited locks, imported mutable globals) are
+    visible to every rule regardless of file order.
+
+    ``select``/``ignore`` entries may be rule ids or family names
+    (``determinism``, ``concurrency``).  Findings suppressed by an
+    inline ``# lint: disable=<rule>`` comment or recorded in
+    ``baseline`` are split out of ``findings`` so callers can still
+    report them.  Raises :class:`KeyError` for an unknown rule id or
+    family in ``select``/``ignore``.
     """
     chosen = _select_rules(select, ignore)
     run = LintRun()
+    # Phase 1: load everything, then summarize project-wide.
+    modules: list[SourceModule] = []
     for path in discover(paths):
         module = load_module(path)
         run.files_checked += 1
         if module.parse_error is not None:
             run.findings.append(module.parse_error)
             continue
+        modules.append(module)
+    project = build_project(modules)
+    # Phase 2: rules see each module plus the whole-project summary.
+    for module in modules:
         disabled = suppressed_rules(module.lines)
         for rule in chosen:
-            for finding in rule.check(module):
+            for finding in rule.check(module, project):
                 line_disabled = disabled.get(finding.line, frozenset())
                 if rule.id in line_disabled or "all" in line_disabled:
                     run.suppressed.append(finding)

@@ -103,3 +103,36 @@ def wrapped_in_call_to(node: ast.AST, names: frozenset) -> bool:
 
 def call_has_arguments(call: ast.Call) -> bool:
     return bool(call.args or call.keywords)
+
+
+def self_attr(node: ast.AST) -> Optional[str]:
+    """``attr`` for a ``self.attr`` expression, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def held_self_locks(node: ast.AST) -> frozenset:
+    """Attribute names ``X`` for every enclosing ``with self.X:`` block.
+
+    Walks parents only within the enclosing function — a ``with`` block
+    that merely *defines* the function does not hold its lock when the
+    function later runs.  Both ``with self._lock:`` and
+    ``with self._lock, other:`` forms are recognized; locks bound to
+    local names first are not tracked (name the guard explicitly or use
+    ``# lint: disable=``).
+    """
+    held = set()
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            break
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            for item in ancestor.items:
+                attr = self_attr(item.context_expr)
+                if attr is not None:
+                    held.add(attr)
+    return frozenset(held)

@@ -5,6 +5,8 @@ Usage::
     biggerfish lint                       # lint src/ and tests/
     biggerfish lint src/repro/sim         # specific paths
     biggerfish lint --format json         # machine-readable output
+    biggerfish lint --format sarif        # SARIF 2.1.0 for code scanning
+    biggerfish lint --select concurrency  # one whole rule family
     biggerfish lint --select unseeded-rng,wall-clock-in-sim
     biggerfish lint --ignore env-dependent-hash
     biggerfish lint --baseline .lint-baseline.json
@@ -24,7 +26,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.lint import Baseline, all_rules, get_rule, lint_paths
-from repro.lint.reporters import render_json, render_text
+from repro.lint.reporters import render_json, render_sarif, render_text
 from repro.lint.suppress import DEFAULT_BASELINE_NAME
 
 #: Directories linted when no path argument is given.
@@ -35,9 +37,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="biggerfish lint",
         description=(
-            "AST-based determinism & reproducibility linter: seeded-RNG "
+            "AST-based determinism & concurrency-safety linter: seeded-RNG "
             "plumbing, simulated-time-only simulation code, order-stable "
-            "iteration."
+            "iteration, and project-wide lock discipline."
         ),
     )
     parser.add_argument(
@@ -47,23 +49,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text); sarif emits SARIF 2.1.0",
     )
     parser.add_argument(
         "--select",
         action="append",
         default=None,
         metavar="RULES",
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids or families (determinism, "
+        "concurrency) to run (default: all)",
     )
     parser.add_argument(
         "--ignore",
         action="append",
         default=None,
         metavar="RULES",
-        help="comma-separated rule ids to skip",
+        help="comma-separated rule ids or families to skip",
     )
     parser.add_argument(
         "--baseline",
@@ -112,7 +115,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
         for rule in all_rules():
-            print(f"{rule.id:24} {rule.summary}")
+            print(
+                f"{rule.id:32} [{rule.family}/{rule.severity}] {rule.summary}"
+            )
         return 0
     if args.explain is not None:
         try:
@@ -137,7 +142,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             baseline=None if args.write_baseline else baseline,
         )
     except KeyError as error:
-        print(f"biggerfish lint: unknown rule {error.args[0]!r}", file=sys.stderr)
+        print(
+            f"biggerfish lint: unknown rule or family {error.args[0]!r}",
+            file=sys.stderr,
+        )
         return 2
     except (FileNotFoundError, ValueError) as error:
         print(f"biggerfish lint: {error}", file=sys.stderr)
@@ -146,7 +154,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         Baseline.write(baseline_path, run.findings)
         print(f"wrote {len(run.findings)} finding(s) to {baseline_path}")
         return 0
-    report = render_json(run) if args.format == "json" else render_text(run)
+    if args.format == "json":
+        report = render_json(run)
+    elif args.format == "sarif":
+        report = render_sarif(run)
+    else:
+        report = render_text(run)
     if report:
         print(report)
     return 0 if run.ok else 1

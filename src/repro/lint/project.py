@@ -1,0 +1,346 @@
+"""Phase 1 of the two-phase analyzer: project-wide symbol summaries.
+
+The original linter ran every rule over one file at a time, which is
+enough for syntactic rules (``unseeded-rng`` needs only the call it is
+looking at) but useless for lock discipline: whether ``self.items``
+may be mutated without a lock depends on whether *some* class in the
+inheritance chain — possibly defined in another file — owns a
+``threading.Lock``.  This module is the first pass that makes such
+questions answerable.  :func:`build_project` walks every parsed module
+once and records, per class:
+
+* which attributes are assigned a lock-like object
+  (``threading.Lock`` / ``RLock`` / ``Condition`` / semaphores) —
+  :attr:`ClassSummary.lock_attrs`;
+* the canonical constructor or annotation type of simple attribute
+  assignments (``self._cond = threading.Condition()`` records
+  ``_cond -> threading.Condition``) — :attr:`ClassSummary.attr_types`;
+* every ``self.<attr>`` write site with its method and line —
+  :attr:`ClassSummary.attr_writes`;
+* methods handed to ``threading.Thread(target=self.m)`` or submitted
+  to an executor — thread entrypoints whose bodies run concurrently —
+  :attr:`ClassSummary.thread_targets`;
+* base classes as canonical dotted names, so
+  :meth:`ProjectSummary.lock_attrs_of` can resolve lock ownership
+  across files and modules.
+
+Per module it also records mutable module-level globals (dict/list/set
+bindings), which the ``shared-state-into-worker`` rule checks against
+``ProcessPoolExecutor`` submissions — including globals imported from
+*other* modules in the linted set.
+
+Everything here is purely syntactic (stdlib ``ast``; nothing is
+imported or executed), matching the rest of the linter.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.astutil import ImportMap, self_attr
+
+#: Canonical constructor names whose instances serialize access.
+LOCK_TYPES = frozenset(
+    {
+        "threading.BoundedSemaphore",
+        "threading.Condition",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Semaphore",
+        "multiprocessing.Condition",
+        "multiprocessing.Lock",
+        "multiprocessing.RLock",
+    }
+)
+
+#: Canonical names recorded in ``attr_types`` (beyond the lock types).
+TRACKED_TYPES = LOCK_TYPES | frozenset(
+    {
+        "threading.Event",
+        "threading.Thread",
+        "threading.local",
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.ThreadPoolExecutor",
+    }
+)
+
+#: Constructors / literals considered shared-mutable at module level.
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {
+        "collections.OrderedDict",
+        "collections.defaultdict",
+        "collections.deque",
+        "dict",
+        "list",
+        "set",
+    }
+)
+_MUTABLE_LITERALS = (ast.Dict, ast.DictComp, ast.List, ast.ListComp, ast.Set, ast.SetComp)
+
+
+@dataclass
+class ClassSummary:
+    """Everything phase 2 needs to know about one class definition."""
+
+    module: str
+    name: str
+    path: str
+    line: int
+    #: Base classes as canonical dotted names (best effort).
+    bases: Tuple[str, ...] = ()
+    #: Attributes assigned a lock-like object anywhere in the class.
+    lock_attrs: frozenset = frozenset()
+    #: attr -> canonical type name, for ``self.x = Ctor()`` assignments
+    #: and dataclass-style ``x: Ctor`` annotations of tracked types.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    #: attr -> [(method, line), ...] for every ``self.attr`` write site.
+    attr_writes: Dict[str, List[Tuple[str, int]]] = field(default_factory=dict)
+    #: Methods passed as ``Thread(target=self.m)`` / ``submit(self.m)``.
+    thread_targets: frozenset = frozenset()
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.module}.{self.name}" if self.module else self.name
+
+    @property
+    def owns_lock(self) -> bool:
+        return bool(self.lock_attrs)
+
+
+@dataclass
+class ModuleSummary:
+    """Per-module facts: its classes and its mutable globals."""
+
+    module: str
+    path: str
+    classes: Dict[str, ClassSummary] = field(default_factory=dict)
+    #: Module-level names bound to a mutable container.
+    mutable_globals: frozenset = frozenset()
+
+
+class ProjectSummary:
+    """Cross-module symbol table assembled by :func:`build_project`."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleSummary] = {}
+        #: qualname (``module.Class``) -> summary.
+        self.classes: Dict[str, ClassSummary] = {}
+
+    def add_module(self, summary: ModuleSummary) -> None:
+        self.modules[summary.module] = summary
+        for cls in summary.classes.values():
+            self.classes[cls.qualname] = cls
+
+    def resolve_class(self, qualname: str) -> Optional[ClassSummary]:
+        return self.classes.get(qualname)
+
+    def lock_attrs_of(self, cls: ClassSummary) -> frozenset:
+        """Lock attributes owned by ``cls`` or any resolvable ancestor.
+
+        This is the cross-module query: a subclass in one file inherits
+        the lock discipline of a base defined in another.  Unresolvable
+        bases (third-party classes) contribute nothing.
+        """
+        seen = set()
+        collected = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop()
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            collected |= current.lock_attrs
+            for base in current.bases:
+                resolved = self.classes.get(base)
+                if resolved is not None:
+                    stack.append(resolved)
+        return frozenset(collected)
+
+    def attr_type_of(self, cls: ClassSummary, attr: str) -> Optional[str]:
+        """Canonical type of ``attr`` on ``cls``, searching ancestors."""
+        seen = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop()
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            if attr in current.attr_types:
+                return current.attr_types[attr]
+            for base in current.bases:
+                resolved = self.classes.get(base)
+                if resolved is not None:
+                    stack.append(resolved)
+        return None
+
+    def is_mutable_global(self, canonical: str) -> bool:
+        """True when ``canonical`` (``module.NAME``) is a mutable global."""
+        module, _, name = canonical.rpartition(".")
+        summary = self.modules.get(module)
+        return summary is not None and name in summary.mutable_globals
+
+
+def _canonical_call_type(node: ast.AST, imports: ImportMap) -> Optional[str]:
+    """Canonical constructor name of a ``Ctor(...)`` expression."""
+    if isinstance(node, ast.Call):
+        return imports.canonical(node.func)
+    return None
+
+
+def _enclosing_method_name(node: ast.AST, class_node: ast.ClassDef) -> str:
+    """Name of the method of ``class_node`` that lexically contains ``node``."""
+    current = getattr(node, "parent", None)
+    method = "<class body>"
+    while current is not None and current is not class_node:
+        if (
+            isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and getattr(current, "parent", None) is class_node
+        ):
+            method = current.name
+        current = getattr(current, "parent", None)
+    return method
+
+
+def _owned_by(node: ast.AST, class_node: ast.ClassDef) -> bool:
+    """True when ``class_node`` is the *nearest* class containing ``node``.
+
+    ``ast.walk`` descends into nested class definitions; their writes
+    belong to their own summaries, not the enclosing class's.
+    """
+    current = getattr(node, "parent", None)
+    while current is not None:
+        if isinstance(current, ast.ClassDef):
+            return current is class_node
+        current = getattr(current, "parent", None)
+    return False
+
+
+def _write_targets(node: ast.AST) -> Iterable[ast.AST]:
+    """Expressions written to by an assignment-like statement."""
+    if isinstance(node, ast.Assign):
+        return node.targets
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target] if node.value is not None or isinstance(node, ast.AugAssign) else []
+    return []
+
+
+def summarize_class(
+    class_node: ast.ClassDef, module: str, path: str, imports: ImportMap
+) -> ClassSummary:
+    """Phase-1 facts for one class definition."""
+    bases = []
+    for base in class_node.bases:
+        canonical = imports.canonical(base)
+        if canonical is None:
+            continue
+        # A bare in-module name resolves to this module's namespace.
+        if "." not in canonical and module:
+            canonical = f"{module}.{canonical}"
+        bases.append(canonical)
+    lock_attrs = set()
+    attr_types: Dict[str, str] = {}
+    attr_writes: Dict[str, List[Tuple[str, int]]] = {}
+    thread_targets = set()
+    # Dataclass-style annotations in the class body declare instance
+    # attributes; record tracked types (``done: threading.Event = ...``).
+    for statement in class_node.body:
+        if isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            canonical = imports.canonical(statement.annotation)
+            if canonical in TRACKED_TYPES:
+                attr_types[statement.target.id] = canonical
+                if canonical in LOCK_TYPES:
+                    lock_attrs.add(statement.target.id)
+    for node in ast.walk(class_node):
+        # Nested classes keep their own summaries; skip their internals.
+        if node is not class_node and not _owned_by(node, class_node):
+            continue
+        for target in _write_targets(node):
+            base_target = target
+            if isinstance(base_target, ast.Subscript):
+                base_target = base_target.value
+            attr = self_attr(base_target)
+            if attr is None:
+                continue
+            method = _enclosing_method_name(node, class_node)
+            attr_writes.setdefault(attr, []).append((method, node.lineno))
+            if isinstance(node, ast.Assign) or (
+                isinstance(node, ast.AnnAssign) and node.value is not None
+            ):
+                value = node.value
+                canonical = _canonical_call_type(value, imports)
+                if canonical in TRACKED_TYPES:
+                    attr_types[attr] = canonical
+                    if canonical in LOCK_TYPES:
+                        lock_attrs.add(attr)
+        if isinstance(node, ast.Call):
+            callee = imports.canonical(node.func)
+            if callee == "threading.Thread":
+                for keyword in node.keywords:
+                    if keyword.arg == "target":
+                        target_attr = self_attr(keyword.value)
+                        if target_attr is not None:
+                            thread_targets.add(target_attr)
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("submit", "map", "apply_async")
+                and node.args
+            ):
+                target_attr = self_attr(node.args[0])
+                if target_attr is not None:
+                    thread_targets.add(target_attr)
+    return ClassSummary(
+        module=module,
+        name=class_node.name,
+        path=path,
+        line=class_node.lineno,
+        bases=tuple(bases),
+        lock_attrs=frozenset(lock_attrs),
+        attr_types=attr_types,
+        attr_writes={k: sorted(v) for k, v in sorted(attr_writes.items())},
+        thread_targets=frozenset(thread_targets),
+    )
+
+
+def summarize_module(source_module) -> ModuleSummary:
+    """Phase-1 facts for one parsed :class:`~repro.lint.walker.SourceModule`."""
+    module = source_module.module or ""
+    imports = ImportMap(source_module.tree)
+    summary = ModuleSummary(module=module, path=source_module.display_path)
+    mutable_globals = set()
+    for statement in source_module.tree.body:
+        if isinstance(statement, ast.Assign):
+            value = statement.value
+            mutable = isinstance(value, _MUTABLE_LITERALS) or (
+                isinstance(value, ast.Call)
+                and imports.canonical(value.func) in _MUTABLE_CONSTRUCTORS
+            )
+            if mutable:
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        mutable_globals.add(target.id)
+    summary.mutable_globals = frozenset(mutable_globals)
+    for node in ast.walk(source_module.tree):
+        if isinstance(node, ast.ClassDef):
+            summary.classes[node.name] = summarize_class(
+                node, module, source_module.display_path, imports
+            )
+    return summary
+
+
+def build_project(source_modules) -> ProjectSummary:
+    """Assemble the cross-module summary over every parsed module.
+
+    Modules that failed to parse contribute nothing (their
+    ``syntax-error`` finding is reported by the driver); duplicate
+    module names keep the last summary, matching import semantics.
+    """
+    project = ProjectSummary()
+    for source_module in source_modules:
+        if source_module.tree is None:
+            continue
+        project.add_module(summarize_module(source_module))
+    return project

@@ -1,11 +1,18 @@
 """Rule registry and the ``Finding`` value type.
 
-A rule is a class with an ``id``, a one-line ``summary``, longer
-``docs`` (rationale plus a bad/good example, rendered by ``biggerfish
-lint --explain <rule>``) and a ``check(module)`` generator yielding
-:class:`Finding` objects.  Rules self-register with the
-:func:`register` decorator; importing :mod:`repro.lint.rules` pulls in
-every built-in rule module.
+A rule is a class with an ``id``, a ``family`` (``determinism``,
+``concurrency``, ...), a ``severity`` (``error`` / ``warning`` /
+``note`` — SARIF levels), a one-line ``summary``, longer ``docs``
+(rationale plus a bad/good example, rendered by ``biggerfish lint
+--explain <rule>``) and a ``check(module, project)`` generator yielding
+:class:`Finding` objects.  ``project`` is the phase-1
+:class:`~repro.lint.project.ProjectSummary` built over every linted
+file before any rule runs, which is what lets the concurrency family
+answer cross-module questions (does some ancestor of this class own a
+lock?).  Per-file rules simply ignore it.
+
+Rules self-register with the :func:`register` decorator; importing
+:mod:`repro.lint.rules` pulls in every built-in rule module.
 
 Adding a rule is three steps: create ``repro/lint/rules/<name>.py``
 with a ``@register``-decorated subclass, import it from
@@ -20,7 +27,12 @@ from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING, ClassVar, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.lint.project import ProjectSummary
     from repro.lint.walker import SourceModule
+
+#: Valid ``Rule.severity`` values, in decreasing order of gravity.
+#: These map one-to-one onto SARIF ``level`` values.
+SEVERITIES = ("error", "warning", "note")
 
 
 @dataclass(frozen=True)
@@ -54,8 +66,14 @@ class Rule:
     id: ClassVar[str]
     summary: ClassVar[str]
     docs: ClassVar[str]
+    #: Rule family, selectable as a group via ``--select``/``--ignore``.
+    family: ClassVar[str] = "determinism"
+    #: SARIF-aligned severity: "error", "warning" or "note".
+    severity: ClassVar[str] = "error"
 
-    def check(self, module: "SourceModule") -> Iterator[Finding]:
+    def check(
+        self, module: "SourceModule", project: "ProjectSummary"
+    ) -> Iterator[Finding]:
         raise NotImplementedError
 
     def finding(
@@ -78,6 +96,11 @@ def register(cls: type) -> type:
     rule = cls()
     if rule.id in _RULES:
         raise ValueError(f"duplicate lint rule id {rule.id!r}")
+    if rule.severity not in SEVERITIES:
+        raise ValueError(
+            f"rule {rule.id!r} has invalid severity {rule.severity!r}; "
+            f"expected one of {SEVERITIES}"
+        )
     _RULES[rule.id] = rule
     return cls
 
@@ -89,6 +112,11 @@ def all_rules() -> list[Rule]:
 
 def rule_ids() -> list[str]:
     return sorted(_RULES)
+
+
+def rule_families() -> list[str]:
+    """Every distinct rule family, sorted."""
+    return sorted({rule.family for rule in _RULES.values()})
 
 
 def get_rule(rule_id: str) -> Rule:

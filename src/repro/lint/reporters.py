@@ -1,10 +1,44 @@
-"""Text and JSON renderers for lint results."""
+"""Text, JSON and SARIF renderers for lint results.
+
+The SARIF output targets version 2.1.0 — the interchange format GitHub
+code scanning ingests, so CI can upload the report and findings appear
+as PR annotations with per-rule metadata.  Inline-suppressed findings
+are emitted with ``suppressions: [{"kind": "inSource"}]`` and
+baselined ones with ``kind: "external"``, matching the linter's own
+three-way split; only unsuppressed results gate the build.
+"""
 
 from __future__ import annotations
 
 import json
+from typing import Optional
 
-from repro.lint import LintRun
+from repro.lint import Finding, LintRun, all_rules, get_rule
+from repro.lint.registry import Rule
+
+#: The published 2.1.0 schema URI (referenced, never fetched).
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+
+
+def _rule_for(finding: Finding) -> Optional[Rule]:
+    """Registry entry for a finding, or None for pseudo-rules.
+
+    ``syntax-error`` findings are synthesized by the walker, not by a
+    registered rule, so metadata lookups must tolerate their absence.
+    """
+    try:
+        return get_rule(finding.rule)
+    except KeyError:
+        return None
+
+
+def _finding_dict(finding: Finding) -> dict:
+    rule = _rule_for(finding)
+    payload = finding.as_dict()
+    payload["severity"] = rule.severity if rule is not None else "error"
+    payload["family"] = rule.family if rule is not None else "parse"
+    return payload
 
 
 def render_text(run: LintRun, verbose_clean: bool = True) -> str:
@@ -32,13 +66,86 @@ def render_json(run: LintRun) -> str:
     payload = {
         "version": 1,
         "files_checked": run.files_checked,
-        "findings": [finding.as_dict() for finding in run.findings],
-        "suppressed": [finding.as_dict() for finding in run.suppressed],
-        "baselined": [finding.as_dict() for finding in run.baselined],
+        "findings": [_finding_dict(finding) for finding in run.findings],
+        "suppressed": [_finding_dict(finding) for finding in run.suppressed],
+        "baselined": [_finding_dict(finding) for finding in run.baselined],
         "counts": {
             "findings": len(run.findings),
             "suppressed": len(run.suppressed),
             "baselined": len(run.baselined),
         },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_result(
+    finding: Finding, rule_index: dict, suppression: Optional[str]
+) -> dict:
+    rule = _rule_for(finding)
+    level = rule.severity if rule is not None else "error"
+    result = {
+        "ruleId": finding.rule,
+        "level": level,
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {"biggerfishLint/v1": finding.fingerprint()},
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    if suppression is not None:
+        result["suppressions"] = [{"kind": suppression}]
+    return result
+
+
+def render_sarif(run: LintRun) -> str:
+    """SARIF 2.1.0 report carrying the same findings as the JSON form."""
+    from repro import __version__  # deferred: repro lazy-loads submodules
+
+    rules = all_rules()
+    rule_index = {rule.id: index for index, rule in enumerate(rules)}
+    driver_rules = [
+        {
+            "id": rule.id,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": (rule.docs or rule.summary).strip()},
+            "defaultConfiguration": {"level": rule.severity},
+            "properties": {"family": rule.family},
+        }
+        for rule in rules
+    ]
+    results = (
+        [_sarif_result(f, rule_index, None) for f in run.findings]
+        + [_sarif_result(f, rule_index, "inSource") for f in run.suppressed]
+        + [_sarif_result(f, rule_index, "external") for f in run.baselined]
+    )
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "biggerfish-lint",
+                        "version": __version__,
+                        "rules": driver_rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -22,10 +22,15 @@ DETERMINISTIC_PACKAGES = (
 )
 
 from repro.lint.rules import (  # noqa: E402, F401  (registration side effects)
+    cond_wait,
     env_hash,
+    lock_blocking,
     mutable_default,
     set_iteration,
+    thread_lifecycle,
+    unlocked_write,
     unseeded_rng,
     unsorted_dir,
     wall_clock,
+    worker_state,
 )

@@ -1,0 +1,154 @@
+"""condition-wait-without-predicate: waits must re-check, never poll.
+
+``Condition.wait`` makes two promises people forget: it can wake
+*spuriously* (so the guarded predicate must be re-checked in a loop),
+and ``wait(timeout)`` returns whether it was notified (so a discarded
+return value means the timeout was a disguised polling interval).  The
+fingerprint server shipped exactly that bug: ``self._cond.wait(0.1)``
+woke the worker ten times a second on an idle server just to re-check
+an empty queue — wakeups that cost CPU, battery and tail latency and
+that a plain notify would have made unnecessary.
+
+Two forms are flagged, for receivers the phase-1 summary types as
+``threading.Condition`` (``self`` attributes, including inherited
+ones, and locals assigned ``threading.Condition()``):
+
+* ``cond.wait(...)`` with no enclosing ``while`` in the same function
+  — a single ``if``-guarded (or unguarded) wait misses spurious
+  wakeups and missed-notify races;
+* statement-level ``cond.wait(<number literal>)`` — a timed poll whose
+  result is discarded.  Either drop the timeout and notify on every
+  state change, or check the return value against a real deadline.
+
+Bad::
+
+    with self._cond:
+        while not self._queue:
+            self._cond.wait(0.1)      # 10 wakeups/s on an idle server
+
+Good::
+
+    with self._cond:
+        while not self._queue:
+            self._cond.wait()         # sleeps until notified
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.astutil import ImportMap, ancestors, self_attr
+from repro.lint.registry import Finding, Rule, register
+from repro.lint.walker import SourceModule
+
+_CONDITION = "threading.Condition"
+
+
+def _enclosing_class_name(node: ast.AST) -> Optional[str]:
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, ast.ClassDef):
+            return ancestor.name
+    return None
+
+
+def _in_while_loop(node: ast.AST) -> bool:
+    """True when an enclosing ``while`` exists within the same function."""
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False
+        if isinstance(ancestor, ast.While):
+            return True
+    return False
+
+
+def _local_conditions(function: ast.AST, imports: ImportMap) -> frozenset:
+    """Local names assigned ``threading.Condition()`` in ``function``."""
+    names = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if imports.canonical(node.value.func) == _CONDITION:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+    return frozenset(names)
+
+
+@register
+class ConditionWaitRule(Rule):
+    id = "condition-wait-without-predicate"
+    family = "concurrency"
+    severity = "error"
+    summary = "Condition.wait not re-checked in a loop, or used as a timed poll"
+    docs = __doc__
+
+    def check(self, module: SourceModule, project) -> Iterator[Finding]:
+        module_summary = project.modules.get(module.module or "")
+        imports = ImportMap(module.tree)
+        local_cache: dict = {}
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "wait"
+            ):
+                continue
+            receiver = self._condition_receiver(
+                node, imports, module_summary, project, local_cache
+            )
+            if receiver is None:
+                continue
+            if not _in_while_loop(node):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{receiver}.wait() is not re-checked in a while loop; "
+                    "spurious wakeups and missed notifies make a bare (or "
+                    "if-guarded) wait incorrect — loop on the predicate",
+                )
+                continue
+            timeout = node.args[0] if node.args else None
+            parent = getattr(node, "parent", None)
+            discarded = isinstance(parent, ast.Expr)
+            if (
+                discarded
+                and isinstance(timeout, ast.Constant)
+                and isinstance(timeout.value, (int, float))
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{receiver}.wait({timeout.value}) with a discarded result "
+                    "is a timed poll that wakes the thread for nothing; drop "
+                    "the timeout and notify on every state change, or check "
+                    "the return value against a deadline",
+                )
+
+    def _condition_receiver(
+        self, node: ast.Call, imports, module_summary, project, local_cache
+    ) -> Optional[str]:
+        """Printable receiver when it is Condition-typed, else None."""
+        attr = self_attr(node.func.value)
+        if attr is not None:
+            if module_summary is None:
+                return None
+            class_name = _enclosing_class_name(node)
+            summary = (
+                module_summary.classes.get(class_name)
+                if class_name is not None
+                else None
+            )
+            if summary is None:
+                return None
+            if project.attr_type_of(summary, attr) == _CONDITION:
+                return f"self.{attr}"
+            return None
+        if isinstance(node.func.value, ast.Name):
+            for ancestor in ancestors(node):
+                if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if ancestor not in local_cache:
+                        local_cache[ancestor] = _local_conditions(ancestor, imports)
+                    if node.func.value.id in local_cache[ancestor]:
+                        return node.func.value.id
+                    return None
+        return None

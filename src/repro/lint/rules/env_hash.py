@@ -80,7 +80,7 @@ class EnvHashRule(Rule):
     summary = "PYTHONHASHSEED-salted hash() feeding control flow or keys"
     docs = __doc__
 
-    def check(self, module: SourceModule) -> Iterator[Finding]:
+    def check(self, module: SourceModule, project) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
             if not (
                 isinstance(node, ast.Call)

@@ -1,0 +1,133 @@
+"""blocking-call-under-lock: never hold a lock across slow operations.
+
+A lock held across a blocking call turns one slow operation into a
+convoy: every thread that needs the lock — including request threads
+that only wanted a queue append — stalls behind it.  In this codebase
+the canonical mistake is running ``predict_proba`` (milliseconds of
+BLAS) or file I/O inside the serve/obs critical sections that the
+request path also takes.  Critical sections should compute *decisions*
+under the lock and perform the slow work outside it.
+
+Flagged inside any ``with self.<lock>:`` block of a lock-owning class:
+
+* model inference and training (``.predict_proba()``, ``.predict()``,
+  ``.fit()``);
+* ``time.sleep`` and subprocess / network calls;
+* ``open()`` — file I/O latency is unbounded on shared machines;
+* ``.wait()`` on a ``threading.Event`` attribute and ``.join()`` on a
+  ``threading.Thread`` attribute (typed via the phase-1 summary):
+  both can block forever if the signalling thread needs the very lock
+  being held.
+
+``Condition.wait`` on the *held* condition is exempt — releasing the
+lock while waiting is exactly what conditions are for.
+
+Bad::
+
+    with self._lock:
+        probs = model.predict_proba(batch)   # queue stalls for the GEMM
+
+Good::
+
+    with self._lock:
+        batch = self._take_batch_locked()
+    probs = model.predict_proba(batch)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.astutil import ImportMap, ancestors, held_self_locks, self_attr
+from repro.lint.registry import Finding, Rule, register
+from repro.lint.walker import SourceModule
+
+#: Canonical function names that block on the outside world.
+_BLOCKING_CALLS = frozenset(
+    {
+        "open",
+        "time.sleep",
+        "subprocess.Popen",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.run",
+        "urllib.request.urlopen",
+        "socket.create_connection",
+        "requests.get",
+        "requests.post",
+        "requests.request",
+    }
+)
+
+#: Method names that are slow on any receiver (model inference/training).
+_SLOW_METHODS = frozenset({"fit", "predict", "predict_proba"})
+
+
+def _enclosing_class_name(node: ast.AST) -> Optional[str]:
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, ast.ClassDef):
+            return ancestor.name
+    return None
+
+
+@register
+class BlockingCallUnderLockRule(Rule):
+    id = "blocking-call-under-lock"
+    family = "concurrency"
+    severity = "warning"
+    summary = "slow or indefinitely-blocking call made while holding a lock"
+    docs = __doc__
+
+    def check(self, module: SourceModule, project) -> Iterator[Finding]:
+        module_summary = project.modules.get(module.module or "")
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            held = held_self_locks(node)
+            if not held:
+                continue
+            description = self._blocking_description(
+                node, held, imports, module_summary, project
+            )
+            if description is None:
+                continue
+            locks = ", ".join(f"self.{name}" for name in sorted(held))
+            yield self.finding(
+                module,
+                node,
+                f"{description} while holding {locks}; move the slow work "
+                "outside the critical section (compute the decision under "
+                "the lock, do the work after releasing it)",
+            )
+
+    def _blocking_description(
+        self, node: ast.Call, held: frozenset, imports, module_summary, project
+    ) -> Optional[str]:
+        canonical = imports.canonical(node.func)
+        if canonical in _BLOCKING_CALLS:
+            return f"{canonical}() blocks"
+        if not isinstance(node.func, ast.Attribute):
+            return None
+        method = node.func.attr
+        if method in _SLOW_METHODS:
+            return f".{method}() runs model inference/training"
+        if method not in ("wait", "join"):
+            return None
+        attr = self_attr(node.func.value)
+        if attr is None or module_summary is None:
+            return None
+        class_name = _enclosing_class_name(node)
+        summary = (
+            module_summary.classes.get(class_name) if class_name is not None else None
+        )
+        if summary is None:
+            return None
+        attr_type = project.attr_type_of(summary, attr)
+        if method == "wait" and attr_type == "threading.Event":
+            return f"self.{attr}.wait() can block indefinitely"
+        if method == "join" and attr_type == "threading.Thread":
+            return f"self.{attr}.join() can block indefinitely"
+        return None

@@ -56,7 +56,7 @@ class SetIterationRule(Rule):
     summary = "set consumed in an order-sensitive way in a deterministic module"
     docs = __doc__
 
-    def check(self, module: SourceModule) -> Iterator[Finding]:
+    def check(self, module: SourceModule, project) -> Iterator[Finding]:
         if not module.in_package(*_rules.DETERMINISTIC_PACKAGES):
             return
         imports = ImportMap(module.tree)

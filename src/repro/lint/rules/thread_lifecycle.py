@@ -1,0 +1,145 @@
+"""nondaemon-unjoined-thread: every thread needs an exit plan.
+
+A ``threading.Thread`` that is neither a daemon nor joined has no
+owner at shutdown: interpreter exit blocks on it, test processes hang,
+and a crash in the main thread leaves it running against torn-down
+state.  The project convention is explicit: workers that must finish
+are stored on ``self`` and joined in a ``stop()``/``close()`` method;
+fire-and-forget helpers say so with ``daemon=True``.
+
+Flagged: any ``threading.Thread(...)`` construction that neither
+
+* passes a truthy ``daemon=`` keyword, nor
+* is joined — a ``.join(`` call on the attribute or local the thread
+  is bound to, anywhere in the same class (for ``self.x = Thread``)
+  or the same function (for ``t = Thread``).
+
+Bad::
+
+    def start(self):
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()                 # nobody ever joins it
+
+Good::
+
+    def start(self):
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+
+    def stop(self):
+        ...
+        worker.join()
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.astutil import ImportMap, ancestors, self_attr
+from repro.lint.registry import Finding, Rule, register
+from repro.lint.walker import SourceModule
+
+
+def _truthy_daemon(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == "daemon":
+            if isinstance(keyword.value, ast.Constant):
+                return bool(keyword.value.value)
+            return True  # computed daemon flag: give the benefit of the doubt
+    return False
+
+
+def _bound_name(call: ast.Call) -> Optional[ast.AST]:
+    """The assignment target the Thread is bound to, if any.
+
+    Sees through list/tuple literals and comprehensions, so
+    ``threads = [Thread(...) for i in range(n)]`` binds to ``threads``
+    and a later ``for t in threads: t.join()`` sweep satisfies the rule.
+    """
+    node: ast.AST = call
+    parent = getattr(node, "parent", None)
+    while isinstance(parent, (ast.List, ast.Tuple, ast.ListComp, ast.comprehension)):
+        node = parent
+        parent = getattr(node, "parent", None)
+    if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+        return parent.targets[0]
+    if isinstance(parent, ast.AugAssign):  # threads += [Thread(...) ...]
+        return parent.target
+    return None
+
+
+def _scope_of(node: ast.AST, want_class: bool) -> Optional[ast.AST]:
+    for ancestor in ancestors(node):
+        if want_class and isinstance(ancestor, ast.ClassDef):
+            return ancestor
+        if not want_class and isinstance(
+            ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            return ancestor
+    return None
+
+
+def _joins_in(scope: ast.AST, attr: Optional[str], local: Optional[str]) -> bool:
+    """True when ``scope`` contains ``<binding>.join(...)`` somewhere.
+
+    The check is deliberately permissive about *where* the join happens
+    (any method of the class / anywhere in the function, including a
+    ``for t in threads: t.join()`` sweep over a list the local was
+    appended to) — the rule targets threads with *no* join at all.
+    """
+    for node in ast.walk(scope):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+        ):
+            continue
+        receiver = node.func.value
+        if attr is not None and self_attr(receiver) == attr:
+            return True
+        if local is not None and isinstance(receiver, ast.Name):
+            return True  # a local `.join()` loop counts for local threads
+    return False
+
+
+@register
+class ThreadLifecycleRule(Rule):
+    id = "nondaemon-unjoined-thread"
+    family = "concurrency"
+    severity = "warning"
+    summary = "non-daemon Thread that is never joined"
+    docs = __doc__
+
+    def check(self, module: SourceModule, project) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if imports.canonical(node.func) != "threading.Thread":
+                continue
+            if _truthy_daemon(node):
+                continue
+            target = _bound_name(node)
+            attr = self_attr(target) if target is not None else None
+            local = (
+                target.id
+                if isinstance(target, ast.Name)
+                else None
+            )
+            if attr is not None:
+                scope = _scope_of(node, want_class=True)
+            else:
+                scope = _scope_of(node, want_class=False)
+            if scope is not None and _joins_in(scope, attr, local):
+                continue
+            binding = (
+                f"self.{attr}" if attr is not None else (local or "the thread")
+            )
+            yield self.finding(
+                module,
+                node,
+                f"threading.Thread bound to {binding} is neither daemon=True "
+                "nor joined; join it in a stop()/teardown path or mark it a "
+                "daemon so shutdown cannot hang on it",
+            )

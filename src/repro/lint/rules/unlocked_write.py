@@ -1,0 +1,173 @@
+"""unlocked-shared-write: lock-owning classes must guard their writes.
+
+A class that owns a ``threading.Lock``/``Condition`` has declared that
+its mutable state is shared between threads — that is the only reason
+to pay for a lock.  Every write to that state outside a ``with
+self.<lock>:`` block is then a data race: the batching server's worker
+and its callers, or the metrics registry's flushing threads, can
+interleave mid-update and corrupt the structure or lose writes.  The
+lock-ownership question is answered by the phase-1 project summary, so
+a subclass defined in another file inherits the discipline of its
+lock-owning base.
+
+The rule flags attribute assignments (``self.x = ...``,
+``self.x[k] = ...``, ``self.x += ...``) and calls to known mutating
+methods (``self.x.append(...)``, ``.pop()``, ``.update()``, ...) in
+any method of a lock-owning class, unless a ``with self.<lock>:``
+block encloses the write.  Exempt: ``__init__`` and friends (the
+object is not yet shared) and methods whose name ends in ``_locked``
+(the project convention for "caller holds the lock" helpers).
+
+Bad::
+
+    class Registry:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._entries = {}
+
+        def add(self, name, value):
+            self._entries[name] = value          # racy
+
+Good::
+
+    def add(self, name, value):
+        with self._lock:
+            self._entries[name] = value
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.astutil import ancestors, held_self_locks, self_attr
+from repro.lint.registry import Finding, Rule, register
+from repro.lint.walker import SourceModule
+
+#: Methods whose construction guarantees exclusive access: the object
+#: is being built (or rebuilt for pickling) before it is shared.
+_EXEMPT_METHODS = frozenset(
+    {
+        "__init__",
+        "__new__",
+        "__post_init__",
+        "__getstate__",
+        "__setstate__",
+        "__reduce__",
+        "__copy__",
+        "__deepcopy__",
+        "__del__",
+    }
+)
+
+#: Attribute method names that mutate common containers in place.
+_MUTATORS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "move_to_end",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "reverse",
+        "rotate",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+
+def _enclosing_class(node: ast.AST) -> Optional[ast.ClassDef]:
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, ast.ClassDef):
+            return ancestor
+    return None
+
+
+def _enclosing_method(node: ast.AST, class_node: ast.ClassDef) -> Optional[str]:
+    method = None
+    for ancestor in ancestors(node):
+        if ancestor is class_node:
+            break
+        if (
+            isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and getattr(ancestor, "parent", None) is class_node
+        ):
+            method = ancestor.name
+    return method
+
+
+@register
+class UnlockedSharedWriteRule(Rule):
+    id = "unlocked-shared-write"
+    family = "concurrency"
+    severity = "error"
+    summary = "shared attribute of a lock-owning class mutated outside its lock"
+    docs = __doc__
+
+    def check(self, module: SourceModule, project) -> Iterator[Finding]:
+        module_summary = project.modules.get(module.module or "")
+        if module_summary is None or not module_summary.classes:
+            return
+        for node in ast.walk(module.tree):
+            written = self._written_attr(node)
+            if written is None:
+                continue
+            attr, write_node = written
+            class_node = _enclosing_class(write_node)
+            if class_node is None:
+                continue
+            summary = module_summary.classes.get(class_node.name)
+            if summary is None:
+                continue
+            lock_attrs = project.lock_attrs_of(summary)
+            if not lock_attrs:
+                continue
+            method = _enclosing_method(write_node, class_node)
+            if method is None or method in _EXEMPT_METHODS:
+                continue
+            if method.endswith("_locked"):
+                continue  # convention: caller already holds the lock
+            if held_self_locks(write_node) & lock_attrs:
+                continue
+            locks = "/".join(f"self.{name}" for name in sorted(lock_attrs))
+            owner = summary.qualname if summary.module else class_node.name
+            yield self.finding(
+                module,
+                write_node,
+                f"self.{attr} is mutated in {owner}.{method}() without "
+                f"holding {locks}; wrap the write in `with {locks.split('/')[0]}:` "
+                "or suffix the method `_locked` if the caller holds it",
+            )
+
+    @staticmethod
+    def _written_attr(node: ast.AST):
+        """``(attr, node)`` when ``node`` writes ``self.attr``, else None."""
+        targets: list = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATORS:
+                attr = self_attr(node.func.value)
+                if attr is not None:
+                    return attr, node
+            return None
+        for target in targets:
+            base = target
+            if isinstance(base, ast.Subscript):
+                base = base.value
+            attr = self_attr(base)
+            if attr is not None:
+                return attr, node
+        return None

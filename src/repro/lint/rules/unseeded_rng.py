@@ -111,7 +111,7 @@ class UnseededRngRule(Rule):
     summary = "random source created or used without an explicit seed"
     docs = __doc__
 
-    def check(self, module: SourceModule) -> Iterator[Finding]:
+    def check(self, module: SourceModule, project) -> Iterator[Finding]:
         imports = ImportMap(module.tree)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):

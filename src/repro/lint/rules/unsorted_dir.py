@@ -48,7 +48,7 @@ class UnsortedDirRule(Rule):
     summary = "directory listing consumed without sorted()"
     docs = __doc__
 
-    def check(self, module: SourceModule) -> Iterator[Finding]:
+    def check(self, module: SourceModule, project) -> Iterator[Finding]:
         imports = ImportMap(module.tree)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):

@@ -64,7 +64,7 @@ class WallClockRule(Rule):
     summary = "host-clock read inside a simulated-time-only package"
     docs = __doc__
 
-    def check(self, module: SourceModule) -> Iterator[Finding]:
+    def check(self, module: SourceModule, project) -> Iterator[Finding]:
         if not module.in_package(*CHECKED_PACKAGES):
             return
         imports = ImportMap(module.tree)

@@ -1,0 +1,162 @@
+"""shared-state-into-worker: process pools don't share your memory.
+
+Arguments submitted to a ``ProcessPoolExecutor`` are pickled into a
+child process.  Handing workers a module-level mutable global, or a
+``self`` bound method of a lock-owning object, *looks* like sharing
+but is a fork-time snapshot: the worker mutates its private copy (the
+parent never sees the writes), and on fork-start methods the pickled
+object can carry unpicklable or stale lock state.  Either pass plain
+data in and results out, or use a ``ThreadPoolExecutor`` /
+``multiprocessing.Manager`` when genuine sharing is required.
+
+Flagged for any ``submit``/``map`` call on an executor the phase-1
+summary types as ``concurrent.futures.ProcessPoolExecutor`` (a
+``self`` attribute or a local constructed in the same function):
+
+* arguments naming a module-level mutable global (dict/list/set
+  binding) — including globals imported from other linted modules;
+* ``self`` or ``self.method`` arguments when the enclosing class owns
+  a lock (its state is exactly the kind that cannot cross a fork).
+
+Bad::
+
+    _CACHE = {}
+
+    with ProcessPoolExecutor() as pool:
+        pool.submit(work, _CACHE)        # worker mutates its own copy
+
+Good::
+
+    with ProcessPoolExecutor() as pool:
+        future = pool.submit(work, dict(snapshot))   # explicit copy in
+        merged.update(future.result())               # explicit data out
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.astutil import ImportMap, ancestors, self_attr
+from repro.lint.registry import Finding, Rule, register
+from repro.lint.walker import SourceModule
+
+_PROCESS_POOL = "concurrent.futures.ProcessPoolExecutor"
+
+
+def _enclosing_class_summary(node: ast.AST, module_summary):
+    if module_summary is None:
+        return None
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, ast.ClassDef):
+            return module_summary.classes.get(ancestor.name)
+    return None
+
+
+def _local_process_pools(function: ast.AST, imports: ImportMap) -> frozenset:
+    """Locals bound to ``ProcessPoolExecutor(...)`` in ``function``.
+
+    Covers both ``pool = ProcessPoolExecutor()`` and the idiomatic
+    ``with ProcessPoolExecutor() as pool:`` form.
+    """
+    names = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if imports.canonical(node.value.func) == _PROCESS_POOL:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if (
+                    isinstance(item.context_expr, ast.Call)
+                    and imports.canonical(item.context_expr.func) == _PROCESS_POOL
+                    and isinstance(item.optional_vars, ast.Name)
+                ):
+                    names.add(item.optional_vars.id)
+    return frozenset(names)
+
+
+@register
+class SharedStateIntoWorkerRule(Rule):
+    id = "shared-state-into-worker"
+    family = "concurrency"
+    severity = "warning"
+    summary = "mutable shared state handed to a ProcessPoolExecutor worker"
+    docs = __doc__
+
+    def check(self, module: SourceModule, project) -> Iterator[Finding]:
+        module_summary = project.modules.get(module.module or "")
+        imports = ImportMap(module.tree)
+        pool_cache: dict = {}
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("submit", "map")
+            ):
+                continue
+            if not self._is_process_pool(
+                node.func.value, node, imports, module_summary, project, pool_cache
+            ):
+                continue
+            for arg in node.args:
+                problem = self._shared_arg(
+                    arg, imports, module_summary, project, node
+                )
+                if problem is not None:
+                    yield self.finding(module, arg, problem)
+
+    def _is_process_pool(
+        self, receiver, node, imports, module_summary, project, pool_cache
+    ) -> bool:
+        attr = self_attr(receiver)
+        if attr is not None:
+            summary = _enclosing_class_summary(node, module_summary)
+            return (
+                summary is not None
+                and project.attr_type_of(summary, attr) == _PROCESS_POOL
+            )
+        if isinstance(receiver, ast.Name):
+            for ancestor in ancestors(node):
+                if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if ancestor not in pool_cache:
+                        pool_cache[ancestor] = _local_process_pools(ancestor, imports)
+                    return receiver.id in pool_cache[ancestor]
+        return False
+
+    def _shared_arg(
+        self, arg, imports, module_summary, project, call
+    ) -> Optional[str]:
+        attr = self_attr(arg)
+        is_bare_self = isinstance(arg, ast.Name) and arg.id == "self"
+        if attr is not None or is_bare_self:
+            summary = _enclosing_class_summary(call, module_summary)
+            if summary is None or not project.lock_attrs_of(summary):
+                return None
+            spelled = "self" if is_bare_self else f"self.{attr}"
+            return (
+                f"{spelled} of lock-owning class {summary.qualname} is passed "
+                "into a process-pool worker; locks and shared state do not "
+                "survive pickling into a child process — send plain data instead"
+            )
+        if isinstance(arg, ast.Name):
+            canonical = imports.canonical(arg)
+            in_module = (
+                module_summary is not None
+                and arg.id in module_summary.mutable_globals
+            )
+            cross_module = (
+                canonical is not None
+                and "." in canonical
+                and project.is_mutable_global(canonical)
+            )
+            if in_module or cross_module:
+                origin = canonical if cross_module else arg.id
+                return (
+                    f"mutable module-level global {origin} is passed into a "
+                    "process-pool worker; the child mutates a pickled copy the "
+                    "parent never sees — pass a snapshot in and merge results "
+                    "back explicitly"
+                )
+        return None

@@ -64,7 +64,10 @@ def discover(paths: Sequence[str]) -> Iterator[pathlib.Path]:
 
     Files are yielded verbatim (even inside excluded directories — an
     explicit argument always wins); directories are walked recursively
-    with :data:`EXCLUDED_DIR_NAMES` pruned, in sorted order.
+    with :data:`EXCLUDED_DIR_NAMES` pruned, in sorted order.  Pruning
+    only considers directories *below* the walked root, so explicitly
+    passing a directory that lives inside an excluded one (a fixture
+    package, say) still lints its contents.
     """
     seen: set[pathlib.Path] = set()
     for raw in paths:
@@ -77,7 +80,7 @@ def discover(paths: Sequence[str]) -> Iterator[pathlib.Path]:
             candidates = (
                 candidate
                 for candidate in sorted(path.rglob("*.py"))
-                if not (EXCLUDED_DIR_NAMES & set(part.name for part in candidate.parents))
+                if not (EXCLUDED_DIR_NAMES & set(candidate.relative_to(path).parts[:-1]))
             )
         for candidate in candidates:
             marker = candidate.resolve()

@@ -164,24 +164,38 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, dict]:
         """Current absolute values of every instrument."""
         with self._lock:
-            out: Dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
-            for name, inst in sorted(self._instruments.items()):
-                if isinstance(inst, Counter):
-                    out["counters"][name] = inst.value
-                elif isinstance(inst, Gauge):
-                    out["gauges"][name] = inst.value
-                else:
-                    out["histograms"][name] = {
-                        "buckets": list(inst.buckets),
-                        "counts": list(inst.counts),
-                        "sum": round(inst.sum, 9),
-                        "count": inst.count,
-                    }
-            return out
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> Dict[str, dict]:
+        out: Dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, inst in sorted(self._instruments.items()):
+            if isinstance(inst, Counter):
+                out["counters"][name] = inst.value
+            elif isinstance(inst, Gauge):
+                out["gauges"][name] = inst.value
+            else:
+                out["histograms"][name] = {
+                    "buckets": list(inst.buckets),
+                    "counts": list(inst.counts),
+                    "sum": round(inst.sum, 9),
+                    "count": inst.count,
+                }
+        return out
 
     def _delta(self) -> Optional[dict]:
-        """Change since the previous flush, or None if nothing moved."""
-        snap = self.snapshot()
+        """Change since the previous flush, or None if nothing moved.
+
+        Snapshotting, diffing against ``_flushed`` and updating
+        ``_flushed`` happen under one lock acquisition: two concurrent
+        flushers must never both read the same previous values, or the
+        same delta would be spooled twice and the merged totals drift
+        from the true snapshot.
+        """
+        with self._lock:
+            return self._delta_locked()
+
+    def _delta_locked(self) -> Optional[dict]:
+        snap = self._snapshot_locked()
         delta: Dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
         dirty = False
         for name, value in snap["counters"].items():

@@ -189,7 +189,10 @@ class SpanTracer:
             if self._handle is None:
                 self.spool_dir.mkdir(parents=True, exist_ok=True)
                 path = self.spool_dir / f"spans-{os.getpid()}.jsonl"
-                self._handle = open(path, "a")
+                # Opening the spool under the lock is deliberate: emits
+                # must serialize against lazy-open anyway, the open is
+                # once per process, and span lines must never interleave.
+                self._handle = open(path, "a")  # lint: disable=blocking-call-under-lock
             self._handle.write(line + "\n")
             self._handle.flush()
 

@@ -155,6 +155,10 @@ class FingerprintServer:
         self._cond = threading.Condition()
         self._running = False
         self._worker: Optional[threading.Thread] = None
+        #: Times the batching worker woke from its idle wait.  An idle
+        #: server must not wake at all between requests — the regression
+        #: test pins this to zero across an idle window.
+        self.worker_wakeups = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -164,10 +168,10 @@ class FingerprintServer:
             if self._running:
                 return self
             self._running = True
-        self._worker = threading.Thread(
-            target=self._serve_loop, name="biggerfish-serve", daemon=True
-        )
-        self._worker.start()
+            self._worker = threading.Thread(
+                target=self._serve_loop, name="biggerfish-serve", daemon=True
+            )
+            self._worker.start()
         return self
 
     def stop(self, timeout: float = 10.0) -> None:
@@ -180,10 +184,11 @@ class FingerprintServer:
             if not self._running:
                 return
             self._running = False
+            worker, self._worker = self._worker, None
             self._cond.notify_all()
-        if self._worker is not None:
-            self._worker.join(timeout)
-            self._worker = None
+        # Join outside the lock: the worker needs self._cond to drain.
+        if worker is not None:
+            worker.join(timeout)
 
     def __enter__(self) -> "FingerprintServer":
         return self.start()
@@ -283,19 +288,30 @@ class FingerprintServer:
             self._run_batch(batch)
 
     def _next_batch(self) -> Optional[List[_Pending]]:
-        """Block for the next batch; None when stopped and drained."""
+        """Block for the next batch; None when stopped and drained.
+
+        The idle wait is a plain notify-driven ``Condition.wait()`` —
+        ``submit`` and ``stop`` notify, so an idle server makes zero
+        wakeups between requests (the old ``wait(0.1)`` form polled the
+        empty queue ten times a second).  Only the batch-accumulation
+        phase uses a timed wait, against the real ``max_wait_ms``
+        deadline rather than a fixed polling interval.
+        """
         with self._cond:
             while not self._queue:
                 if not self._running:
                     return None
-                self._cond.wait(0.1)
+                self._cond.wait()
+                self.worker_wakeups += 1
             first = self._queue.popleft()
         batch = [first]
         wait_until = time.monotonic() + self.max_wait_ms / 1000.0
         while len(batch) < self.max_batch:
             with self._cond:
                 batch.extend(
-                    self._take_matching(first.model, self.max_batch - len(batch))
+                    self._take_matching_locked(
+                        first.model, self.max_batch - len(batch)
+                    )
                 )
                 if len(batch) >= self.max_batch:
                     break
@@ -307,7 +323,7 @@ class FingerprintServer:
             obs.gauge("serve.queue_depth").set(len(self._queue))
         return batch
 
-    def _take_matching(self, model: str, budget: int) -> List[_Pending]:
+    def _take_matching_locked(self, model: str, budget: int) -> List[_Pending]:
         """Pop up to ``budget`` queued requests for ``model`` (in order).
 
         Requests for other models keep their relative order and stay

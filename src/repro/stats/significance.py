@@ -67,7 +67,12 @@ def welch_t_test(a, b) -> TTestResult:
         statistic = math.inf if a.mean() != b.mean() else 0.0
         return TTestResult(statistic, 0.0 if statistic else 1.0, float(na + nb - 2))
     statistic = (a.mean() - b.mean()) / math.sqrt(se2)
-    dof = se2**2 / ((va / na) ** 2 / (na - 1) + (vb / nb) ** 2 / (nb - 1))
+    # Welch–Satterthwaite, computed on ratios of the per-sample terms so
+    # denormal-scale variances cannot underflow the squares into 0/0.
+    x, y = va / na, vb / nb
+    scale = max(x, y)
+    xr, yr = x / scale, y / scale
+    dof = (xr + yr) ** 2 / (xr**2 / (na - 1) + yr**2 / (nb - 1))
     return TTestResult(float(statistic), _t_sf(abs(statistic), dof), float(dof))
 
 

@@ -168,27 +168,19 @@ class TestCollect:
             np.testing.assert_array_equal(got.counters, want.counters)
 
 
-class TestDeprecatedShims:
-    """One-release shims: old names warn and delegate to collect()."""
+class TestDeprecatedShimsRemoved:
+    """The one-release pre-unification shims are gone for good."""
 
-    def test_collect_trace_warns_and_matches(self, collector, site):
-        with pytest.warns(DeprecationWarning, match="collect_trace"):
-            old = collector.collect_trace(site, trace_index=3)
-        new = collector.collect(site, start_index=3)[0]
-        np.testing.assert_array_equal(old.counters, new.counters)
+    @pytest.mark.parametrize(
+        "name", ["collect_trace", "collect_traces", "collect_dataset"]
+    )
+    def test_old_entry_points_no_longer_exist(self, collector, name):
+        assert not hasattr(collector, name)
 
-    def test_collect_traces_warns_and_matches(self, collector, site):
-        with pytest.warns(DeprecationWarning, match="collect_traces"):
-            old = collector.collect_traces(site, 2)
-        new = collector.collect(site, 2)
-        assert isinstance(old, list) and len(old) == 2
-        for got, want in zip(old, new):
-            np.testing.assert_array_equal(got.counters, want.counters)
-
-    def test_collect_dataset_warns_and_matches(self, collector):
-        sites = [profile_for("amazon.com"), profile_for("weather.com")]
-        with pytest.warns(DeprecationWarning, match="collect_dataset"):
-            old_x, old_labels = collector.collect_dataset(sites, traces_per_site=2)
-        new_x, new_labels = collector.collect(sites, 2).stacked()
-        np.testing.assert_array_equal(old_x, new_x)
-        assert old_labels == new_labels
+    def test_collect_replaces_every_old_form(self, collector, site):
+        single = collector.collect(site, start_index=3)[0]
+        several = list(collector.collect(site, 2))
+        stacked_x, stacked_labels = collector.collect([site], 2).stacked()
+        assert single.counters.size > 0
+        assert len(several) == 2
+        assert stacked_x.shape[0] == len(stacked_labels) == 2

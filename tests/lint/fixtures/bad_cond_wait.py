@@ -1,0 +1,51 @@
+# lint: module=lintfix.condwait
+"""Fixture: condition waits without a predicate loop, and timed polls."""
+import threading
+
+
+class Mailbox:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._items = []
+
+    def get_if_guarded(self):
+        with self._cond:
+            if not self._items:
+                self._cond.wait()
+            return self._items.pop()
+
+    def get_unguarded(self):
+        with self._cond:
+            self._cond.wait()
+            return self._items.pop()
+
+    def get_polling(self):
+        with self._cond:
+            while not self._items:
+                self._cond.wait(0.1)
+            return self._items.pop()
+
+    def get_slow_poll(self):
+        with self._cond:
+            while not self._items:
+                self._cond.wait(1)
+            return self._items.pop()
+
+    def get_correct(self):
+        with self._cond:
+            while not self._items:
+                self._cond.wait()
+            return self._items.pop()
+
+    def get_deadline(self, remaining):
+        with self._cond:
+            while not self._items:
+                if not self._cond.wait(remaining):
+                    return None
+            return self._items.pop()
+
+
+def wait_local():
+    cond = threading.Condition()
+    with cond:
+        cond.wait()

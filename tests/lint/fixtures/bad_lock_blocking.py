@@ -1,0 +1,35 @@
+# lint: module=lintfix.blocking
+"""Fixture: slow and indefinitely-blocking calls under a held lock."""
+import subprocess
+import threading
+import time
+
+
+class Server:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._ready = threading.Event()
+        self._worker = threading.Thread(target=self._run, daemon=True)
+        self._log = []
+
+    def _run(self):
+        pass
+
+    def slow_io(self, path, model, batch):
+        with self._lock:
+            handle = open(path)
+            time.sleep(0.5)
+            subprocess.run(["true"], check=True)
+            probs = model.predict_proba(batch)
+        return handle, probs
+
+    def slow_sync(self):
+        with self._lock:
+            self._ready.wait()
+            self._worker.join()
+
+    def fine(self, path, model, batch):
+        with self._lock:
+            self._log.append(path)
+        handle = open(path)
+        return handle, model.predict_proba(batch)

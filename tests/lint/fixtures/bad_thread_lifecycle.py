@@ -1,0 +1,40 @@
+# lint: module=lintfix.threads
+"""Fixture: non-daemon threads that nobody ever joins."""
+import threading
+
+
+class Runner:
+    def start(self):
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+
+    def _run(self):
+        pass
+
+
+def fire_and_forget(fn):
+    worker = threading.Thread(target=fn)
+    worker.start()
+    return worker
+
+
+def inline(fn):
+    threading.Thread(target=fn, name="oneshot").start()
+
+
+def joined(fn):
+    worker = threading.Thread(target=fn)
+    worker.start()
+    worker.join()
+
+
+def daemonized(fn):
+    threading.Thread(target=fn, daemon=True).start()
+
+
+def swept(fn):
+    threads = [threading.Thread(target=fn) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()

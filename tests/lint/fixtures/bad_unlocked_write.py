@@ -1,0 +1,33 @@
+# lint: module=lintfix.unlocked
+"""Fixture: lock-owning class mutating shared state outside its lock."""
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+        self._order = []
+        self.hits = 0
+
+    def add(self, name, value):
+        self._entries[name] = value
+
+    def bump(self):
+        self.hits += 1
+
+    def track(self, name):
+        self._order.append(name)
+
+    def reset(self):
+        self._entries = {}
+
+    def forget(self, name):
+        self._entries.pop(name, None)
+
+    def guarded(self, name, value):
+        with self._lock:
+            self._entries[name] = value
+
+    def _merge_locked(self, other):
+        self._entries.update(other)

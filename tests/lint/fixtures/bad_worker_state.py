@@ -1,0 +1,39 @@
+# lint: module=lintfix.workers
+"""Fixture: shared mutable state handed to process-pool workers."""
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+CACHE = {}
+RESULTS = []
+
+
+def work(payload):
+    return payload
+
+
+def fan_out(items):
+    with ProcessPoolExecutor() as pool:
+        for item in items:
+            pool.submit(work, CACHE)
+        pool.map(work, RESULTS)
+
+
+class Owner:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pool = ProcessPoolExecutor()
+
+    def kick(self):
+        return self._pool.submit(work, self)
+
+    def kick_method(self):
+        return self._pool.submit(self._job, 1)
+
+    def _job(self, n):
+        return n
+
+
+def fine(items):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(work, dict(item)) for item in items]
+    return [future.result() for future in futures]

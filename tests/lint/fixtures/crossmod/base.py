@@ -1,0 +1,19 @@
+# lint: module=lintfix.base
+"""Cross-module fixture: the lock-owning base class and a shared global."""
+import threading
+
+SHARED = {}
+
+
+class LockedBase:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self._worker = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        pass
+
+    def bump_safe(self):
+        with self._lock:
+            self.count += 1

@@ -1,0 +1,27 @@
+# lint: module=lintfix.worker
+"""Cross-module fixture: violations only visible with project summaries.
+
+The base class owning the lock and the mutable global both live in
+``base.py`` — a one-file-at-a-time walker cannot see either from here.
+"""
+from concurrent.futures import ProcessPoolExecutor
+
+from lintfix.base import SHARED, LockedBase
+
+
+def job(payload):
+    return payload
+
+
+class Worker(LockedBase):
+    def bump_racy(self):
+        self.count += 1
+
+    def bump_safe_here(self):
+        with self._lock:
+            self.count += 1
+
+
+def fan_out():
+    with ProcessPoolExecutor() as pool:
+        pool.submit(job, SHARED)

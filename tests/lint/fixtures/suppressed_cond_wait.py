@@ -1,0 +1,21 @@
+# lint: module=lintfix.condwait_ok
+"""Fixture: the same wait misuses, suppressed inline."""
+import threading
+
+
+class Mailbox:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._items = []
+
+    def get_if_guarded(self):
+        with self._cond:
+            if not self._items:
+                self._cond.wait()  # lint: disable=condition-wait-without-predicate
+            return self._items.pop()
+
+    def get_polling(self):
+        with self._cond:
+            while not self._items:
+                self._cond.wait(0.1)  # lint: disable=all
+            return self._items.pop()

@@ -1,0 +1,15 @@
+# lint: module=lintfix.blocking_ok
+"""Fixture: the same blocking calls under a lock, suppressed inline."""
+import threading
+import time
+
+
+class Server:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def slow_io(self, path):
+        with self._lock:
+            handle = open(path)  # lint: disable=blocking-call-under-lock
+            time.sleep(0.5)  # lint: disable=all
+        return handle

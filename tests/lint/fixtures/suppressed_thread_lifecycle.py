@@ -1,0 +1,13 @@
+# lint: module=lintfix.threads_ok
+"""Fixture: the same unjoined threads, suppressed inline."""
+import threading
+
+
+def fire_and_forget(fn):
+    worker = threading.Thread(target=fn)  # lint: disable=nondaemon-unjoined-thread
+    worker.start()
+    return worker
+
+
+def inline(fn):
+    threading.Thread(target=fn, name="oneshot").start()  # lint: disable=all

@@ -1,0 +1,16 @@
+# lint: module=lintfix.unlocked_ok
+"""Fixture: the same unlocked writes, suppressed inline."""
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+        self.hits = 0
+
+    def add(self, name, value):
+        self._entries[name] = value  # lint: disable=unlocked-shared-write
+
+    def bump(self):
+        self.hits += 1  # lint: disable=all

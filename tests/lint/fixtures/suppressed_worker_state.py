@@ -1,0 +1,16 @@
+# lint: module=lintfix.workers_ok
+"""Fixture: the same worker submissions, suppressed inline."""
+from concurrent.futures import ProcessPoolExecutor
+
+CACHE = {}
+
+
+def work(payload):
+    return payload
+
+
+def fan_out(items):
+    with ProcessPoolExecutor() as pool:
+        for item in items:
+            pool.submit(work, CACHE)  # lint: disable=shared-state-into-worker
+        pool.map(work, CACHE)  # lint: disable=all

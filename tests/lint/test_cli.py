@@ -68,11 +68,29 @@ class TestOutput:
         capsys.readouterr()
         assert main(["--ignore", "unseeded-rng", _bad(fixtures)]) == 0
 
+    def test_select_by_family(self, fixtures, capsys):
+        bad_concurrency = str(fixtures / "bad_unlocked_write.py")
+        assert main(["--select", "determinism", bad_concurrency]) == 0
+        capsys.readouterr()
+        assert main(["--select", "concurrency", bad_concurrency]) == 1
+        assert "unlocked-shared-write" in capsys.readouterr().out
+        assert main(["--ignore", "concurrency", bad_concurrency]) == 0
+
+    def test_sarif_output(self, fixtures, capsys):
+        assert main(["--format", "sarif", _bad(fixtures)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        results = payload["runs"][0]["results"]
+        assert results and all(
+            r["ruleId"] == "unseeded-rng" for r in results
+        )
+
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in rule_ids():
             assert rule_id in out
+        assert "[concurrency/" in out and "[determinism/" in out
 
     @pytest.mark.parametrize("rule_id", rule_ids())
     def test_explain_every_rule(self, rule_id, capsys):

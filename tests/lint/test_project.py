@@ -1,0 +1,90 @@
+"""Phase-1 project summaries and cross-module rule resolution."""
+
+from __future__ import annotations
+
+from repro.lint import build_project, lint_paths
+from repro.lint.walker import discover, load_module
+
+
+def _crossmod(fixtures):
+    return str(fixtures / "crossmod")
+
+
+def _project(fixtures):
+    modules = [load_module(path) for path in discover([_crossmod(fixtures)])]
+    assert len(modules) == 2, "discover must see explicitly-passed fixture dirs"
+    return build_project(modules)
+
+
+class TestSummaries:
+    def test_lock_ownership_is_recorded(self, fixtures):
+        project = _project(fixtures)
+        base = project.resolve_class("lintfix.base.LockedBase")
+        assert base is not None
+        assert base.lock_attrs == frozenset({"_lock"})
+        assert base.owns_lock
+
+    def test_subclass_inherits_lock_across_modules(self, fixtures):
+        project = _project(fixtures)
+        worker = project.resolve_class("lintfix.worker.Worker")
+        assert worker is not None
+        assert worker.bases == ("lintfix.base.LockedBase",)
+        assert not worker.lock_attrs  # owns nothing itself...
+        assert project.lock_attrs_of(worker) == frozenset({"_lock"})  # ...inherits
+
+    def test_attr_types_and_thread_targets(self, fixtures):
+        project = _project(fixtures)
+        base = project.resolve_class("lintfix.base.LockedBase")
+        assert base.attr_types["_lock"] == "threading.Lock"
+        assert base.attr_types["_worker"] == "threading.Thread"
+        assert base.thread_targets == frozenset({"_run"})
+        worker = project.resolve_class("lintfix.worker.Worker")
+        assert project.attr_type_of(worker, "_lock") == "threading.Lock"
+
+    def test_attr_writes_are_indexed_by_method(self, fixtures):
+        project = _project(fixtures)
+        base = project.resolve_class("lintfix.base.LockedBase")
+        methods = {method for method, _ in base.attr_writes["count"]}
+        assert methods == {"__init__", "bump_safe"}
+
+    def test_mutable_globals_resolve_across_modules(self, fixtures):
+        project = _project(fixtures)
+        assert "SHARED" in project.modules["lintfix.base"].mutable_globals
+        assert project.is_mutable_global("lintfix.base.SHARED")
+        assert not project.is_mutable_global("lintfix.base.job")
+
+
+class TestCrossModuleFindings:
+    def test_inherited_lock_discipline_is_enforced(self, fixtures):
+        run = lint_paths([_crossmod(fixtures)])
+        by_rule = {}
+        for finding in run.findings:
+            by_rule.setdefault(finding.rule, []).append(finding)
+        racy = by_rule.get("unlocked-shared-write", [])
+        assert len(racy) == 1
+        assert racy[0].path.endswith("worker.py")
+        assert "self.count" in racy[0].message
+        assert "lintfix.worker.Worker" in racy[0].message
+
+    def test_imported_mutable_global_into_worker_is_flagged(self, fixtures):
+        run = lint_paths([_crossmod(fixtures)])
+        shared = [
+            finding
+            for finding in run.findings
+            if finding.rule == "shared-state-into-worker"
+        ]
+        assert len(shared) == 1
+        assert shared[0].path.endswith("worker.py")
+        assert "lintfix.base.SHARED" in shared[0].message
+
+    def test_no_other_rules_fire(self, fixtures):
+        run = lint_paths([_crossmod(fixtures)])
+        assert {finding.rule for finding in run.findings} == {
+            "unlocked-shared-write",
+            "shared-state-into-worker",
+        }
+
+    def test_single_file_runs_cannot_see_the_base(self, fixtures):
+        """The same worker.py linted alone is silent — the point of phase 1."""
+        run = lint_paths([str(fixtures / "crossmod" / "worker.py")])
+        assert run.findings == []

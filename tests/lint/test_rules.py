@@ -14,6 +14,11 @@ RULE_FIXTURES = {
     "set-iteration-order": ("set_iteration", 5),
     "mutable-default-arg": ("mutable_default", 5),
     "env-dependent-hash": ("env_hash", 5),
+    "unlocked-shared-write": ("unlocked_write", 5),
+    "blocking-call-under-lock": ("lock_blocking", 6),
+    "condition-wait-without-predicate": ("cond_wait", 5),
+    "nondaemon-unjoined-thread": ("thread_lifecycle", 3),
+    "shared-state-into-worker": ("worker_state", 4),
 }
 
 

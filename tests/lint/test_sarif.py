@@ -1,0 +1,250 @@
+"""SARIF reporter: 2.1.0 shape, suppressions, and JSON round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import lint_paths
+from repro.lint.reporters import (
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    render_json,
+    render_sarif,
+)
+
+#: Subset of the official SARIF 2.1.0 schema covering every construct
+#: the reporter emits — enough for jsonschema to catch a malformed
+#: report without fetching the full schema from the network.
+_SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "version": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "defaultConfiguration": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "level": {
+                                                            "enum": [
+                                                                "none",
+                                                                "note",
+                                                                "warning",
+                                                                "error",
+                                                            ]
+                                                        }
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "message", "locations"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {"type": "integer", "minimum": 0},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {"text": {"type": "string"}},
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "minItems": 1,
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["physicalLocation"],
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": ["artifactLocation"],
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                                "partialFingerprints": {
+                                    "type": "object",
+                                    "additionalProperties": {"type": "string"},
+                                },
+                                "suppressions": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["kind"],
+                                        "properties": {
+                                            "kind": {
+                                                "enum": ["inSource", "external"]
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def mixed_run(request):
+    fixtures = request.path.parent / "fixtures"
+    return lint_paths(
+        [
+            str(fixtures / "bad_unlocked_write.py"),
+            str(fixtures / "suppressed_cond_wait.py"),
+            str(fixtures / "bad_wall_clock.py"),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def sarif(mixed_run):
+    return json.loads(render_sarif(mixed_run))
+
+
+class TestShape:
+    def test_validates_against_schema_subset(self, sarif):
+        jsonschema = pytest.importorskip("jsonschema")
+        jsonschema.validate(instance=sarif, schema=_SARIF_SUBSET_SCHEMA)
+
+    def test_version_and_schema_pointer(self, sarif):
+        assert sarif["version"] == SARIF_VERSION == "2.1.0"
+        assert sarif["$schema"] == SARIF_SCHEMA
+
+    def test_driver_lists_every_rule_with_level(self, sarif):
+        from repro.lint import all_rules
+
+        driver = sarif["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "biggerfish-lint"
+        by_id = {rule["id"]: rule for rule in driver["rules"]}
+        for rule in all_rules():
+            entry = by_id[rule.id]
+            assert entry["defaultConfiguration"]["level"] == rule.severity
+            assert entry["properties"]["family"] == rule.family
+
+    def test_rule_index_points_at_the_right_rule(self, sarif):
+        driver = sarif["runs"][0]["tool"]["driver"]
+        for result in sarif["runs"][0]["results"]:
+            index = result.get("ruleIndex")
+            if index is not None:
+                assert driver["rules"][index]["id"] == result["ruleId"]
+
+
+class TestRoundTrip:
+    def test_same_findings_as_json_reporter(self, mixed_run, sarif):
+        plain = json.loads(render_json(mixed_run))
+        unsuppressed = [
+            result
+            for result in sarif["runs"][0]["results"]
+            if "suppressions" not in result
+        ]
+
+        def key_of_sarif(result):
+            location = result["locations"][0]["physicalLocation"]
+            return (
+                result["ruleId"],
+                location["artifactLocation"]["uri"],
+                location["region"]["startLine"],
+                location["region"]["startColumn"] - 1,
+            )
+
+        def key_of_json(finding):
+            return (
+                finding["rule"],
+                finding["path"],
+                finding["line"],
+                finding["col"],
+            )
+
+        assert sorted(map(key_of_sarif, unsuppressed)) == sorted(
+            map(key_of_json, plain["findings"])
+        )
+
+    def test_levels_match_json_severities(self, mixed_run, sarif):
+        plain = json.loads(render_json(mixed_run))
+        sarif_levels = {
+            result["partialFingerprints"]["biggerfishLint/v1"]: result["level"]
+            for result in sarif["runs"][0]["results"]
+        }
+        for finding in plain["findings"]:
+            fingerprint = (
+                f"{finding['rule']}:{finding['path']}:{finding['line']}"
+            )
+            assert sarif_levels[fingerprint] == finding["severity"]
+
+    def test_suppressed_findings_carry_in_source_kind(self, mixed_run, sarif):
+        suppressed = [
+            result
+            for result in sarif["runs"][0]["results"]
+            if "suppressions" in result
+        ]
+        assert len(suppressed) == len(mixed_run.suppressed) >= 2
+        assert all(
+            result["suppressions"] == [{"kind": "inSource"}]
+            for result in suppressed
+        )
+
+
+class TestJsonEnrichment:
+    def test_json_findings_carry_severity_and_family(self, mixed_run):
+        plain = json.loads(render_json(mixed_run))
+        for finding in plain["findings"]:
+            assert finding["severity"] in ("error", "warning", "note")
+            assert finding["family"] in ("determinism", "concurrency")

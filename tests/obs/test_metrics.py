@@ -109,6 +109,48 @@ class TestDeltaFlush:
         assert merged["histograms"]["h"]["sum"] == pytest.approx(5.5)
 
 
+class TestConcurrentFlush:
+    def test_racing_flushers_never_double_count(self, spool):
+        """Delta computation is atomic under the registry lock.
+
+        The old ``_delta`` snapshotted under the lock but diffed and
+        updated ``_flushed`` outside it, so two racing flushers could
+        read the same previous values and spool the same delta twice.
+        Hammer counters and flush from several threads at once: the
+        spooled deltas must sum exactly to the final snapshot.
+        """
+        import threading
+
+        registry = active_registry()
+        increments_per_thread = 200
+        flusher_rounds = 50
+
+        def incrementer():
+            for _ in range(increments_per_thread):
+                registry.counter("race.hits").inc()
+
+        def flusher():
+            for _ in range(flusher_rounds):
+                registry.flush()
+
+        threads = [threading.Thread(target=incrementer) for _ in range(4)]
+        threads += [threading.Thread(target=flusher) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        registry.flush()  # spool whatever the racers left behind
+        events = [
+            json.loads(line)
+            for path in sorted(spool.glob("metrics-*.jsonl"))
+            for line in path.read_text().splitlines()
+        ]
+        merged = merge_deltas(events)
+        total = registry.snapshot()["counters"]["race.hits"]
+        assert total == 4 * increments_per_thread
+        assert merged["counters"]["race.hits"] == total
+
+
 class TestForkSafety:
     def test_inherited_registry_resets_in_child(self, spool, monkeypatch):
         obs.counter("parent.only").inc(10)

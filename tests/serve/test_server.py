@@ -186,6 +186,31 @@ class TestConfiguration:
         server.stop()  # double-stop is a no-op
 
 
+class TestWorkerWakeups:
+    def test_idle_server_never_wakes(self, registry, dataset):
+        """Notify-driven waiting: zero worker wakeups across an idle window.
+
+        The worker's idle wait used to be ``wait(0.1)`` — a 10 Hz poll
+        that woke the thread to re-check an empty queue.  With untimed
+        condition waits the only wakeups are notifies from ``submit``
+        and ``stop``, so an idle stretch must add exactly none.
+        """
+        x, _ = dataset
+        with FingerprintServer(registry, max_wait_ms=0.0) as server:
+            assert server.predict(x[0]).ok  # drain startup activity
+            baseline = server.worker_wakeups
+            time.sleep(0.35)  # >3 poll periods of the old 100 ms loop
+            assert server.worker_wakeups == baseline
+            assert server.predict(x[1]).ok  # still responsive afterwards
+
+    def test_stop_unblocks_the_idle_worker(self, registry):
+        server = FingerprintServer(registry).start()
+        started = time.monotonic()
+        server.stop(timeout=5.0)
+        # An un-notified untimed wait would hang until the join timeout.
+        assert time.monotonic() - started < 1.0
+
+
 class TestLoadgen:
     def test_closed_loop_report(self, registry, dataset):
         x, _ = dataset
