@@ -53,7 +53,10 @@ from repro.workload import (
 # 1.1.0: batched (vectorized) interrupt synthesis changed the RNG draw
 # order, so traces differ from 1.0.x; the version participates in trace
 # cache keys, which invalidates stale cached traces automatically.
-__version__ = "1.1.0"
+# 1.2.0: the repro.verify differential-oracle harness now certifies the
+# 1.1.0 draw order against a retained scalar reference; traces are
+# unchanged, the bump marks the certified surface.
+__version__ = "1.2.0"
 
 __all__ = [
     "CacheStats", "ExecutionEngine", "RunContext", "RunManifest", "TraceCache",

@@ -28,7 +28,13 @@ from repro.serve.server import FingerprintServer
 
 @dataclass(frozen=True)
 class LoadReport:
-    """Aggregate outcome of one closed-loop load run."""
+    """Aggregate outcome of one closed-loop load run.
+
+    ``n_requests`` counts *issued* requests — every ``predict`` call a
+    client started — so it equals ``clients × requests_per_client``
+    whenever the run completes, whereas ``n_ok`` plus the error counts
+    covers only requests that returned.
+    """
 
     n_requests: int
     n_ok: int
@@ -75,22 +81,33 @@ def run_load(
     latencies: List[List[float]] = [[] for _ in range(clients)]
     batches: List[List[int]] = [[] for _ in range(clients)]
     outcomes: List[Dict[str, int]] = [{} for _ in range(clients)]
+    issued: List[int] = [0] * clients
+    failures: List[Optional[BaseException]] = [None] * clients
 
     def client(index: int) -> None:
-        rng = np.random.default_rng([seed, 0x5E12, index])
-        picks = rng.integers(0, len(vectors), size=requests_per_client)
-        for pick in picks:
-            started = time.monotonic()
-            result = server.predict(
-                vectors[int(pick)], model=model, deadline_ms=deadline_ms
-            )
-            elapsed_ms = (time.monotonic() - started) * 1000.0
-            latencies[index].append(elapsed_ms)
-            if result.ok:
-                outcomes[index]["ok"] = outcomes[index].get("ok", 0) + 1
-                batches[index].append(result.batch_size)
-            else:
-                outcomes[index][result.error] = outcomes[index].get(result.error, 0) + 1
+        # Anything raised here (a server bug, a bad vector) must surface
+        # after join() — a dead thread silently shrinking the report used
+        # to masquerade as a lighter load.
+        try:
+            rng = np.random.default_rng([seed, 0x5E12, index])
+            picks = rng.integers(0, len(vectors), size=requests_per_client)
+            for pick in picks:
+                issued[index] += 1
+                started = time.monotonic()
+                result = server.predict(
+                    vectors[int(pick)], model=model, deadline_ms=deadline_ms
+                )
+                elapsed_ms = (time.monotonic() - started) * 1000.0
+                latencies[index].append(elapsed_ms)
+                if result.ok:
+                    outcomes[index]["ok"] = outcomes[index].get("ok", 0) + 1
+                    batches[index].append(result.batch_size)
+                else:
+                    outcomes[index][result.error] = (
+                        outcomes[index].get(result.error, 0) + 1
+                    )
+        except BaseException as exc:  # noqa: BLE001 - re-raised after join
+            failures[index] = exc
 
     threads = [
         threading.Thread(target=client, args=(i,), name=f"loadgen-{i}")
@@ -102,6 +119,14 @@ def run_load(
     for thread in threads:
         thread.join()
     duration = time.monotonic() - started
+    dead = [(i, exc) for i, exc in enumerate(failures) if exc is not None]
+    if dead:
+        index, first = dead[0]
+        raise RuntimeError(
+            f"{len(dead)} of {clients} load-generator client(s) died; "
+            f"client {index} failed after issuing {issued[index]} request(s): "
+            f"{first!r}"
+        ) from first
     all_latencies = np.array([ms for per in latencies for ms in per])
     all_batches = [b for per in batches for b in per]
     errors: Dict[str, int] = {}
@@ -113,7 +138,7 @@ def run_load(
             else:
                 errors[code] = errors.get(code, 0) + count
     return LoadReport(
-        n_requests=int(all_latencies.size),
+        n_requests=int(sum(issued)),
         n_ok=n_ok,
         errors=errors,
         p50_ms=float(np.percentile(all_latencies, 50)),

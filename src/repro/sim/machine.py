@@ -22,6 +22,7 @@ attackers and the kernel tracer observe.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
@@ -83,6 +84,11 @@ _BURST_RATE_SCALE = 2.0
 
 #: Rate of Turbo Boost transition stalls per core when enabled.
 _TURBO_ARTIFACT_RATE_HZ = 220.0
+
+#: Test-only fault flag (any value): perturbs one vectorized RNG-derived
+#: arrival so the repro.verify sim.synthesize oracle visibly fails.  The
+#: acceptance path for the differential harness — never set in production.
+_PERTURB_ENV_VAR = "BIGGERFISH_SIM_PERTURB"
 
 #: Stable interrupt-type ordering for grouped duration sampling: batched
 #: generation draws one latency sample per *type* rather than per burst,
@@ -407,6 +413,12 @@ class InterruptSynthesizer:
         times += offset
         if rippled.any():
             np.clip(times, starts[owners], starts[owners] + durations[owners], out=times)
+        if _PERTURB_ENV_VAR in os.environ:
+            # Test-only fault injection for the verify harness: nudging a
+            # single arrival must trip the sim.synthesize oracle (the
+            # reference synthesizer overrides this method and is unmoved).
+            times = times.copy()
+            times[0] += 1.0
         return times, owners
 
     def _sample_durations_grouped(

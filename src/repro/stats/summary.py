@@ -41,12 +41,25 @@ def pearson_r(a, b) -> float:
 
 
 def top_k_accuracy(probabilities: np.ndarray, labels: np.ndarray, k: int) -> float:
-    """Fraction of rows whose true label is among the top-``k`` classes."""
+    """Fraction of rows whose true label is among the top-``k`` classes.
+
+    Ties are broken deterministically toward the *lower* class index: a
+    row counts as a hit iff fewer than ``k`` classes strictly beat the
+    true label's probability, counting equal-probability classes with a
+    smaller index as beating it.  This matches ``argmax`` at ``k=1`` and
+    makes the result independent of sort-algorithm internals.
+    """
     probabilities = np.asarray(probabilities, dtype=np.float64)
-    labels = np.asarray(labels)
+    labels = np.asarray(labels, dtype=np.intp)
     if probabilities.ndim != 2 or len(probabilities) != len(labels):
         raise ValueError("probabilities must be (n, classes) aligned with labels")
     if not 1 <= k <= probabilities.shape[1]:
         raise ValueError(f"k={k} out of range for {probabilities.shape[1]} classes")
-    top = np.argsort(probabilities, axis=1)[:, -k:]
-    return float(np.mean([labels[i] in top[i] for i in range(len(labels))]))
+    true_probs = np.take_along_axis(probabilities, labels[:, None], axis=1)
+    beaten_by = (probabilities > true_probs).sum(axis=1)
+    tied_lower = (
+        (probabilities == true_probs)
+        & (np.arange(probabilities.shape[1]) < labels[:, None])
+    ).sum(axis=1)
+    rank = beaten_by + tied_lower  # 0-based rank of the true label
+    return float(np.mean(rank < k))

@@ -86,15 +86,27 @@ class RandomizedTimer(MonotonicQueryMixin, BrowserTimer):
         start_value = self.read(t0_real_ns)
         if elapsed_ns == 0:
             return float(t0_real_ns)
-        # The observed value only changes on update boundaries; walk them.
-        t = float(t0_real_ns)
-        for _ in range(_MAX_UPDATE_STEPS):
-            if self._secure_ns - start_value >= elapsed_ns:
-                return max(t, float(t0_real_ns))
-            t = self._next_update_ns
-            self._apply_updates_until(t)
-            self._last_query_ns = t
-        raise RuntimeError(
-            "randomized timer failed to advance; alpha/beta/threshold "
-            "parameters leave the timer stuck"
-        )
+        # The observed value only changes on update boundaries; walk them
+        # on a snapshot of the update process.  The walk is a *peek*: the
+        # update stream is deterministic, so restoring the state afterwards
+        # lets a later read() at any time >= t0 (which the attacker loop
+        # legitimately makes between t0 and the crossing) replay the same
+        # updates instead of tripping the monotonicity check.
+        saved_secure = self._secure_ns
+        saved_next_update = self._next_update_ns
+        saved_rng_state = self._rng.bit_generator.state
+        try:
+            t = float(t0_real_ns)
+            for _ in range(_MAX_UPDATE_STEPS):
+                if self._secure_ns - start_value >= elapsed_ns:
+                    return max(t, float(t0_real_ns))
+                t = self._next_update_ns
+                self._apply_updates_until(t)
+            raise RuntimeError(
+                "randomized timer failed to advance; alpha/beta/threshold "
+                "parameters leave the timer stuck"
+            )
+        finally:
+            self._secure_ns = saved_secure
+            self._next_update_ns = saved_next_update
+            self._rng.bit_generator.state = saved_rng_state

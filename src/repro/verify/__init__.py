@@ -1,0 +1,51 @@
+"""Differential-oracle verification harness.
+
+Every optimized path in the repo — the vectorized interrupt synthesizer,
+the parallel execution engine, the batched inference server, the trace
+cache, the artifact round-trip — is paired with a *reference*
+computation over the same seeded inputs and a comparison mode
+(bit-identical / allclose / invariant).  :func:`sweep` fans seeds ×
+oracles through the execution engine; :func:`shrink` minimizes a
+failing case and emits a one-line repro command.
+
+CLI: ``biggerfish verify`` or ``python -m repro.verify``; see
+``docs/VERIFY.md``.
+"""
+
+from repro.verify.compare import diff_structures
+from repro.verify.driver import (
+    CaseResult,
+    OracleReport,
+    VerifyReport,
+    make_cases,
+    sweep,
+)
+from repro.verify.oracle import (
+    COMPARISON_MODES,
+    ORACLES,
+    Case,
+    Oracle,
+    get_oracle,
+    list_oracles,
+    register,
+)
+from repro.verify.shrink import ShrinkResult, repro_command, shrink
+
+__all__ = [
+    "COMPARISON_MODES",
+    "ORACLES",
+    "Case",
+    "CaseResult",
+    "Oracle",
+    "OracleReport",
+    "ShrinkResult",
+    "VerifyReport",
+    "diff_structures",
+    "get_oracle",
+    "list_oracles",
+    "make_cases",
+    "register",
+    "repro_command",
+    "shrink",
+    "sweep",
+]

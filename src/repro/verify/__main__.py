@@ -1,0 +1,7 @@
+"""``python -m repro.verify`` — differential-oracle sweep entry point."""
+
+import sys
+
+from repro.verify.cli import main
+
+sys.exit(main())

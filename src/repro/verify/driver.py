@@ -1,0 +1,194 @@
+"""Seed-sweep driver: fan cases × oracles through the execution engine.
+
+:func:`sweep` evaluates every requested oracle on every seeded case and
+aggregates the outcomes into a :class:`VerifyReport`.  With ``jobs > 1``
+the (oracle, case) tasks are distributed over the repo's own
+:class:`~repro.engine.engine.ExecutionEngine` — tasks carry only the
+oracle *name* plus the frozen :class:`~repro.verify.oracle.Case`, and the
+worker process rebuilds the registry by importing
+:mod:`repro.verify.oracles`, so nothing unpicklable crosses the process
+boundary.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.verify.oracle import Case, get_oracle, list_oracles
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """Outcome of one (oracle, case) evaluation."""
+
+    oracle: str
+    case: Case
+    failure: Optional[str]  # None on agreement
+    elapsed_s: float
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def as_dict(self) -> dict:
+        return {
+            "oracle": self.oracle,
+            "case": self.case.as_dict(),
+            "ok": self.ok,
+            "failure": self.failure,
+            "elapsed_s": round(self.elapsed_s, 4),
+        }
+
+
+@dataclass
+class OracleReport:
+    """All case outcomes for one oracle."""
+
+    name: str
+    mode: str
+    description: str
+    results: List[CaseResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def failures(self) -> List[CaseResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def counterexample(self) -> Optional[CaseResult]:
+        """First failing case, or ``None`` when the oracle passed."""
+        failures = self.failures
+        return failures[0] if failures else None
+
+    def as_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "description": self.description,
+            "ok": self.ok,
+            "cases": len(self.results),
+            "failures": [r.as_dict() for r in self.failures],
+        }
+
+
+@dataclass
+class VerifyReport:
+    """Aggregated sweep outcome, JSON-serializable via :meth:`as_dict`."""
+
+    oracles: Dict[str, OracleReport]
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.oracles.values())
+
+    @property
+    def n_cases(self) -> int:
+        return sum(len(report.results) for report in self.oracles.values())
+
+    @property
+    def n_failures(self) -> int:
+        return sum(len(report.failures) for report in self.oracles.values())
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "cases": self.n_cases,
+            "failures": self.n_failures,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "oracles": {
+                name: self.oracles[name].as_dict() for name in sorted(self.oracles)
+            },
+        }
+
+
+def _run_case(task: Tuple[str, Case]) -> CaseResult:
+    """Evaluate one (oracle name, case) task; the engine's unit of work.
+
+    Module-level and name-keyed so the task pickles cleanly; importing
+    the built-in oracle module (re)populates the registry in whichever
+    process this lands in.
+    """
+    import repro.verify.oracles  # noqa: F401 - registration side effect
+
+    name, case = task
+    oracle = get_oracle(name)
+    started = time.perf_counter()
+    with obs.span("verify.case", oracle=name, seed=int(case.seed)):
+        failure = oracle.run_case(case)
+    elapsed = time.perf_counter() - started
+    obs.counter("verify.cases").inc()
+    if failure is not None:
+        obs.counter("verify.failures").inc()
+    return CaseResult(oracle=name, case=case, failure=failure, elapsed_s=elapsed)
+
+
+def make_cases(
+    seeds: Sequence[int],
+    sites: int = 2,
+    traces: int = 2,
+    horizon_ms: float = 400.0,
+) -> List[Case]:
+    """One case per seed at a fixed workload shape."""
+    return [
+        Case(seed=int(seed), sites=sites, traces=traces, horizon_ms=horizon_ms)
+        for seed in seeds
+    ]
+
+
+def sweep(
+    cases: Sequence[Case],
+    oracles: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+) -> VerifyReport:
+    """Run every requested oracle on every case.
+
+    ``oracles`` defaults to the full registry.  ``jobs > 1`` distributes
+    the (oracle, case) grid over an :class:`ExecutionEngine` process
+    pool; the serial path stays engine-free so failures surface with
+    their original tracebacks.
+    """
+    import repro.verify.oracles  # noqa: F401 - registration side effect
+
+    if not cases:
+        raise ValueError("sweep needs at least one case")
+    names = list(oracles) if oracles is not None else list_oracles()
+    resolved = {name: get_oracle(name) for name in names}  # fail fast on typos
+    tasks = [(name, case) for name in names for case in cases]
+
+    started = time.perf_counter()
+    with obs.span("verify.sweep", oracles=len(names), cases=len(cases), jobs=jobs):
+        if jobs > 1:
+            from repro.engine.engine import ExecutionEngine
+
+            results = ExecutionEngine(jobs=jobs).map(_run_case, tasks, stage="verify")
+        else:
+            results = [_run_case(task) for task in tasks]
+
+    report = VerifyReport(
+        oracles={
+            name: OracleReport(
+                name=name, mode=oracle.mode, description=oracle.description
+            )
+            for name, oracle in resolved.items()
+        },
+        elapsed_s=time.perf_counter() - started,
+    )
+    for result in results:
+        report.oracles[result.oracle].results.append(result)
+    obs.gauge("verify.sweep.failures").set(report.n_failures)
+    return report
+
+
+__all__ = [
+    "CaseResult",
+    "OracleReport",
+    "VerifyReport",
+    "make_cases",
+    "sweep",
+]

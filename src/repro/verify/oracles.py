@@ -1,0 +1,544 @@
+"""Built-in differential oracles.
+
+Every optimized path the repo has accumulated is paired here with its
+reference semantics over seeded :class:`~repro.verify.oracle.Case`
+inputs:
+
+====================== ========== =================================================
+oracle                 mode       certifies
+====================== ========== =================================================
+``sim.synthesize``     bit        vectorized interrupt synthesis == retained
+                                  scalar reference (``sim/interrupts_ref.py``)
+``engine.parallel``    bit        2-worker engine collection == serial collection
+``engine.trace_cache`` bit        a cache round-trip returns the stored trace
+``serve.batched``      bit        micro-batched server probs == direct
+                                  ``predict_proba`` over the same vectors
+``ml.artifact``        bit        save→load→predict == in-memory predict
+``sim.gap_timeline``   invariant  serialization identity, trusted-vs-validated
+                                  gap construction, stolen-time query algebra
+``timers.crossing``    invariant  monotone reads + first_crossing contract for
+                                  quantized / jittered / randomized timers
+====================== ========== =================================================
+
+All callables derive every RNG stream from the case alone, so a failing
+``(oracle, case)`` pair reproduces from its one-line repro command.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tempfile
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.collector import TraceCollector
+from repro.engine.cache import TraceCache, cache_key
+from repro.engine.engine import ExecutionEngine
+from repro.ml.artifact import load_artifact
+from repro.ml.models import FeatureFingerprinter
+from repro.sim.events import MS
+from repro.sim.interrupts_ref import ReferenceInterruptSynthesizer
+from repro.sim.machine import InterruptSynthesizer, MachineConfig
+from repro.sim.timeline import GapTimeline
+from repro.timers.spec import CHROME_TIMER, FIREFOX_TIMER, RANDOMIZED_DEFENSE_TIMER
+from repro.verify.oracle import Case, Oracle, register
+from repro.workload.browser import CHROME
+from repro.workload.catalog import closed_world
+
+#: Fixed shape of the synthetic serving/ml dataset (kept small: every
+#: case retrains a model from scratch).
+_ML_CLASSES = 4
+_ML_DIM = 64
+_ML_TRAIN_PER_CLASS = 6
+_ML_EPOCHS = 12
+
+
+def _horizon_ns(case: Case) -> int:
+    return int(case.horizon_ms * MS)
+
+
+def _case_sites(case: Case):
+    return closed_world(case.sites)
+
+
+def _case_browser(case: Case):
+    return dataclasses.replace(CHROME, trace_seconds=case.horizon_ms / 1000.0)
+
+
+# ----------------------------------------------------------------------
+# sim.synthesize — vectorized synthesizer vs retained scalar reference
+# ----------------------------------------------------------------------
+
+
+def _core_struct(core) -> dict:
+    return {
+        "arrivals": core.arrivals,
+        "durations": core.handler_durations,
+        "type_codes": core.type_codes,
+        "cause_codes": core.cause_codes,
+        "cause_names": list(core.cause_names),
+        "starts": core.starts,
+        "ends": core.ends,
+        "record_gap_index": core.record_gap_index,
+        "gap_starts": core.gaps.gap_starts,
+        "gap_ends": core.gaps.gap_ends,
+    }
+
+
+def _run_struct(run) -> dict:
+    return {
+        "cores": [_core_struct(core) for core in run.cores],
+        "frequency_boundaries": run.frequency.boundaries_ns,
+        "frequency_ghz": run.frequency.ghz,
+        "occupancy_times": run.occupancy_times,
+        "occupancy_victim": run.occupancy_victim,
+        "occupancy_ambient": run.occupancy_ambient,
+    }
+
+
+def _synthesize_with(case: Case, synthesizer_cls) -> List[dict]:
+    config = MachineConfig()
+    horizon = _horizon_ns(case)
+    runs = []
+    for site in _case_sites(case):
+        timeline = site.generate_load(
+            np.random.default_rng(case.seed * 7_919 + site.seed), horizon
+        )
+        run = synthesizer_cls(config).synthesize(
+            timeline,
+            style=site.style,
+            rng=np.random.default_rng(case.seed * 1_000_003 + site.seed),
+        )
+        runs.append(_run_struct(run))
+    return runs
+
+
+def _synthesize_reference(case: Case) -> List[dict]:
+    return _synthesize_with(case, ReferenceInterruptSynthesizer)
+
+
+def _synthesize_optimized(case: Case) -> List[dict]:
+    return _synthesize_with(case, InterruptSynthesizer)
+
+
+# ----------------------------------------------------------------------
+# engine.parallel — parallel engine collection vs serial collection
+# ----------------------------------------------------------------------
+
+
+def _trace_struct(trace) -> dict:
+    return {
+        "observed_starts": trace.observed_starts,
+        "counters": trace.counters,
+        "label": trace.label,
+        "attacker": trace.attacker,
+        "horizon_ns": float(trace.spec.horizon_ns),
+        "period_ns": float(trace.spec.period_ns),
+    }
+
+
+def _collect_traces(case: Case, jobs: int) -> List[dict]:
+    engine = ExecutionEngine(jobs=jobs) if jobs > 1 else None
+    collector = TraceCollector(
+        MachineConfig(),
+        _case_browser(case),
+        seed=case.seed,
+        engine=engine,
+        cache=None,
+    )
+    batch = collector.collect(_case_sites(case), case.traces)
+    return [_trace_struct(trace) for trace in batch]
+
+
+def _collect_serial(case: Case) -> List[dict]:
+    return _collect_traces(case, jobs=1)
+
+
+def _collect_parallel(case: Case) -> List[dict]:
+    return _collect_traces(case, jobs=2)
+
+
+# ----------------------------------------------------------------------
+# engine.trace_cache — cache hit vs the trace that was stored
+# ----------------------------------------------------------------------
+
+
+def _collect_one_trace(case: Case):
+    collector = TraceCollector(
+        MachineConfig(), _case_browser(case), seed=case.seed, cache=None
+    )
+    return collector.collect(_case_sites(case)[:1], 1)[0]
+
+
+def _cache_reference(case: Case) -> dict:
+    return _trace_struct(_collect_one_trace(case))
+
+
+def _cache_optimized(case: Case) -> dict:
+    trace = _collect_one_trace(case)
+    with tempfile.TemporaryDirectory(prefix="biggerfish-verify-") as tmp:
+        cache = TraceCache(tmp, max_bytes=1 << 30)
+        key = cache_key({"verify": "trace_cache", "case": case.as_dict()})
+        cache.put(key, trace)
+        loaded = cache.get(key)
+    if loaded is None:
+        raise RuntimeError("trace cache lost a freshly-written entry")
+    return _trace_struct(loaded)
+
+
+# ----------------------------------------------------------------------
+# serve.batched / ml.artifact — model paths
+# ----------------------------------------------------------------------
+
+
+def _ml_dataset(case: Case):
+    """Seeded synthetic (train, eval) matrices with class structure."""
+    rng = np.random.default_rng(case.seed * 104_729 + 17)
+    profiles = rng.normal(0.0, 0.3, size=(_ML_CLASSES, _ML_DIM))
+    x_train = np.concatenate(
+        [
+            1.0 + profiles[c] + rng.normal(0.0, 0.05, size=(_ML_TRAIN_PER_CLASS, _ML_DIM))
+            for c in range(_ML_CLASSES)
+        ]
+    )
+    y_train = np.repeat(np.arange(_ML_CLASSES), _ML_TRAIN_PER_CLASS)
+    n_eval = max(2 * case.traces, 4)
+    eval_classes = rng.integers(0, _ML_CLASSES, size=n_eval)
+    x_eval = 1.0 + profiles[eval_classes] + rng.normal(
+        0.0, 0.05, size=(n_eval, _ML_DIM)
+    )
+    return x_train, y_train, x_eval
+
+
+def _ml_model(case: Case):
+    x_train, y_train, _ = _ml_dataset(case)
+    model = FeatureFingerprinter(seed=case.seed & 0x7FFFFFFF, epochs=_ML_EPOCHS)
+    return model.fit(x_train, y_train, _ML_CLASSES)
+
+
+def _serve_direct(case: Case) -> dict:
+    _, _, x_eval = _ml_dataset(case)
+    model = _ml_model(case)
+    return {"probs": model.predict_proba(x_eval)}
+
+
+def _serve_batched(case: Case) -> dict:
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.server import FingerprintServer
+
+    _, _, x_eval = _ml_dataset(case)
+    model = _ml_model(case)
+    classes = [f"site{i}.example" for i in range(_ML_CLASSES)]
+    with tempfile.TemporaryDirectory(prefix="biggerfish-verify-") as tmp:
+        artifact = f"{tmp}/model"
+        model.save(artifact, classes=classes, provenance={"verify": case.as_dict()})
+        registry = ModelRegistry()
+        registry.add("default", artifact)
+        # One batch for everything: batched == direct bit-identity holds
+        # per predict_proba call, so the oracle forces a single call.
+        with FingerprintServer(
+            registry, max_batch=len(x_eval), max_wait_ms=100.0
+        ) as server:
+            results = server.predict_many(list(x_eval))
+    failed = [r for r in results if not r.ok]
+    if failed:
+        raise RuntimeError(f"serve oracle request failed: {failed[0].error}")
+    return {"probs": np.stack([r.probs for r in results])}
+
+
+def _artifact_memory(case: Case) -> dict:
+    _, _, x_eval = _ml_dataset(case)
+    return {"probs": _ml_model(case).predict_proba(x_eval)}
+
+
+def _artifact_roundtrip(case: Case) -> dict:
+    _, _, x_eval = _ml_dataset(case)
+    model = _ml_model(case)
+    classes = [f"site{i}.example" for i in range(_ML_CLASSES)]
+    with tempfile.TemporaryDirectory(prefix="biggerfish-verify-") as tmp:
+        artifact = f"{tmp}/model"
+        model.save(artifact, classes=classes, provenance={"verify": case.as_dict()})
+        loaded = load_artifact(artifact)
+        probs = loaded.predict_proba(x_eval)
+    return {"probs": probs}
+
+
+# ----------------------------------------------------------------------
+# sim.gap_timeline — merge/query invariants
+# ----------------------------------------------------------------------
+
+
+def _check_gap_timeline(case: Case) -> Optional[str]:
+    site = _case_sites(case)[0]
+    horizon = _horizon_ns(case)
+    timeline = site.generate_load(
+        np.random.default_rng(case.seed * 7_919 + site.seed), horizon
+    )
+    run = InterruptSynthesizer(MachineConfig()).synthesize(
+        timeline,
+        style=site.style,
+        rng=np.random.default_rng(case.seed * 1_000_003 + site.seed),
+    )
+    core = run.attacker_timeline
+    if len(core) == 0:
+        return "attacker core timeline is empty; nothing to verify"
+
+    # 1. Serialization identity: the vectorized cumsum form must match a
+    #    scalar recurrence (allclose — the float op order differs).
+    starts_ref = np.empty(len(core))
+    ends_ref = np.empty(len(core))
+    prev_end = -np.inf
+    for i in range(len(core)):
+        start = max(core.arrivals[i], prev_end)
+        prev_end = start + core.handler_durations[i]
+        starts_ref[i] = start
+        ends_ref[i] = prev_end
+    if not np.allclose(core.starts, starts_ref, rtol=1e-9, atol=1e-3):
+        worst = int(np.argmax(np.abs(core.starts - starts_ref)))
+        return (
+            f"serialize_handlers diverges from scalar recurrence at record "
+            f"{worst}: {core.starts[worst]} vs {starts_ref[worst]}"
+        )
+    if not np.allclose(core.ends, ends_ref, rtol=1e-9, atol=1e-3):
+        return "serialize_handlers end times diverge from scalar recurrence"
+
+    # 2. Trusted construction == validated construction.
+    gaps = core.gaps
+    validated = GapTimeline(gaps.gap_starts, gaps.gap_ends)  # raises if malformed
+    if not np.array_equal(validated._cum_before, gaps._cum_before):
+        return "trusted GapTimeline prefix sums differ from validated construction"
+
+    # 3. stolen_before: nondecreasing, bounded, and equal to a brute-force
+    #    overlap sum on a deterministic probe grid.
+    grid = np.linspace(0.0, float(horizon), 257)
+    stolen = gaps.stolen_before(grid)
+    if np.any(np.diff(stolen) < -1e-6):
+        return "stolen_before is not monotone nondecreasing"
+    brute = np.array(
+        [
+            float(
+                np.sum(
+                    np.clip(
+                        np.minimum(gaps.gap_ends, t) - gaps.gap_starts, 0.0, None
+                    )
+                )
+            )
+            for t in grid
+        ]
+    )
+    if not np.allclose(stolen, brute, rtol=1e-9, atol=1e-3):
+        worst = int(np.argmax(np.abs(stolen - brute)))
+        return (
+            f"stolen_before({grid[worst]:.0f}) = {stolen[worst]} but brute-force "
+            f"overlap sum is {brute[worst]}"
+        )
+    if stolen[-1] > gaps.total_stolen_ns + 1e-3:
+        return "stolen_before(horizon) exceeds total_stolen_ns"
+
+    # 4. Interval algebra: executed + stolen partitions every window.
+    probe_rng = np.random.default_rng(case.seed + 5)
+    for _ in range(16):
+        t0, t1 = np.sort(probe_rng.uniform(0.0, float(horizon), 2))
+        executed = gaps.executed_between(t0, t1)
+        stolen_between = gaps.stolen_between(t0, t1)
+        if not np.isclose(executed + stolen_between, t1 - t0, rtol=1e-9, atol=1e-3):
+            return (
+                f"executed_between + stolen_between != window length on "
+                f"[{t0:.0f}, {t1:.0f})"
+            )
+        if stolen_between < -1e-6 or stolen_between > (t1 - t0) + 1e-6:
+            return f"stolen_between out of [0, window] on [{t0:.0f}, {t1:.0f})"
+
+    # 5. Gap lookup consistency on every gap midpoint.
+    for idx in range(len(gaps)):
+        mid = 0.5 * (gaps.gap_starts[idx] + gaps.gap_ends[idx])
+        if gaps.gap_ends[idx] > gaps.gap_starts[idx]:
+            if gaps.gap_index_at(mid) != idx:
+                return f"gap_index_at(midpoint of gap {idx}) != {idx}"
+            if gaps.next_execution_time(mid) != gaps.gap_ends[idx]:
+                return f"next_execution_time inside gap {idx} is not its end"
+
+    # 6. Record/gap partition: every record maps into exactly one gap.
+    sizes = [len(core.records_in_gap(g)) for g in range(len(gaps))]
+    if sum(sizes) != len(core):
+        return "records_in_gap does not partition the record set"
+    if np.any(np.diff(core.record_gap_index) < 0):
+        return "record_gap_index is not nondecreasing"
+    return None
+
+
+# ----------------------------------------------------------------------
+# timers.crossing — monotonicity + crossing contract
+# ----------------------------------------------------------------------
+
+_TIMER_SPECS = (
+    ("jittered", CHROME_TIMER),
+    ("quantized", FIREFOX_TIMER),
+    ("randomized", RANDOMIZED_DEFENSE_TIMER),
+)
+_CROSSING_ELAPSED_NS = 5.0 * MS
+_SCAN_STEP_NS = 0.05 * MS
+_SCAN_LIMIT_NS = 500.0 * MS
+
+
+def _check_one_timer(kind: str, spec, seed: int) -> Optional[str]:
+    timer = spec.build(seed=seed)
+    timer.reset()
+    # Monotone reads over an increasing grid.
+    last = -np.inf
+    for t in np.linspace(0.0, 50.0 * MS, 201):
+        value = timer.read(float(t))
+        if value < last:
+            return f"{kind}: read() decreased at t={t:.0f}ns"
+        last = value
+    # Crossing contract from t0 = 0.
+    timer = spec.build(seed=seed)
+    timer.reset()
+    start_value = timer.read(0.0)
+    crossing = timer.first_crossing(0.0, _CROSSING_ELAPSED_NS)
+    if crossing < 0.0:
+        return f"{kind}: first_crossing returned {crossing} < t0"
+    # Read-after-crossing: intermediate queries must stay legal and the
+    # walked state consistent with a timer that never peeked ahead.
+    fresh = spec.build(seed=seed)
+    fresh.reset()
+    fresh.read(0.0)
+    for t in (crossing / 2, crossing, crossing + 7.0 * MS):
+        try:
+            walked_value = timer.read(t)
+        except ValueError as exc:
+            return f"{kind}: read({t:.0f}) after first_crossing raised {exc}"
+        if walked_value != fresh.read(t):
+            return (
+                f"{kind}: state walked by first_crossing diverges from a "
+                f"fresh timer at t={t:.0f}ns"
+            )
+    # The crossing satisfies the elapsed contract...
+    check = spec.build(seed=seed)
+    check.reset()
+    if check.read(crossing) - start_value < _CROSSING_ELAPSED_NS:
+        return (
+            f"{kind}: observed elapsed at crossing "
+            f"{check.read(crossing) - start_value:.0f}ns < requested "
+            f"{_CROSSING_ELAPSED_NS:.0f}ns"
+        )
+    # ...and is minimal up to the scan step: a brute-force walk on an
+    # independent instance must not cross earlier.
+    probe = spec.build(seed=seed)
+    probe.reset()
+    base = probe.read(0.0)
+    scan = None
+    for t in np.arange(0.0, _SCAN_LIMIT_NS, _SCAN_STEP_NS):
+        if probe.read(float(t)) - base >= _CROSSING_ELAPSED_NS:
+            scan = float(t)
+            break
+    if scan is None:
+        return f"{kind}: brute-force scan never observed the crossing"
+    if scan + 1e-6 < crossing:
+        return (
+            f"{kind}: first_crossing={crossing:.0f}ns but a scan observed the "
+            f"crossing at {scan:.0f}ns"
+        )
+    if scan - crossing > _SCAN_STEP_NS + 1e-6:
+        return (
+            f"{kind}: first_crossing={crossing:.0f}ns is earlier than any "
+            f"observable crossing (scan found {scan:.0f}ns)"
+        )
+    return None
+
+
+def _check_timers(case: Case) -> Optional[str]:
+    for kind, spec in _TIMER_SPECS:
+        failure = _check_one_timer(kind, spec, seed=case.seed)
+        if failure:
+            return failure
+    return None
+
+
+# ----------------------------------------------------------------------
+# registration
+# ----------------------------------------------------------------------
+
+register(
+    Oracle(
+        name="sim.synthesize",
+        description=(
+            "vectorized InterruptSynthesizer vs the retained scalar "
+            "reference (sim/interrupts_ref.py), every core array bit-identical"
+        ),
+        mode="bit",
+        reference=_synthesize_reference,
+        optimized=_synthesize_optimized,
+    )
+)
+
+register(
+    Oracle(
+        name="engine.parallel",
+        description=(
+            "TraceCollector.collect through a 2-worker ExecutionEngine vs "
+            "the same collection run serially"
+        ),
+        mode="bit",
+        reference=_collect_serial,
+        optimized=_collect_parallel,
+    )
+)
+
+register(
+    Oracle(
+        name="engine.trace_cache",
+        description="a TraceCache put/get round-trip vs the trace it stored",
+        mode="bit",
+        reference=_cache_reference,
+        optimized=_cache_optimized,
+    )
+)
+
+register(
+    Oracle(
+        name="serve.batched",
+        description=(
+            "FingerprintServer micro-batched probabilities vs direct "
+            "predict_proba over the same vectors in one call"
+        ),
+        mode="bit",
+        reference=_serve_direct,
+        optimized=_serve_batched,
+    )
+)
+
+register(
+    Oracle(
+        name="ml.artifact",
+        description="model save -> load -> predict vs in-memory predict",
+        mode="bit",
+        reference=_artifact_memory,
+        optimized=_artifact_roundtrip,
+    )
+)
+
+register(
+    Oracle(
+        name="sim.gap_timeline",
+        description=(
+            "GapTimeline construction and stolen-time query algebra on a "
+            "synthesized attacker core"
+        ),
+        mode="invariant",
+        check=_check_gap_timeline,
+    )
+)
+
+register(
+    Oracle(
+        name="timers.crossing",
+        description=(
+            "monotone reads and the first_crossing contract for the "
+            "jittered, quantized and randomized timers"
+        ),
+        mode="invariant",
+        check=_check_timers,
+    )
+)

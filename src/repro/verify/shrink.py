@@ -1,0 +1,176 @@
+"""Greedy counterexample shrinking.
+
+Given an oracle and a failing :class:`~repro.verify.oracle.Case`, the
+shrinker minimizes the case along the three workload dimensions (sites,
+traces, horizon) while preserving the failure, and prints the one-line
+command that reproduces the minimized case.  The seed is never changed:
+a differential failure is a property of one RNG stream, and hunting for
+a "smaller" seed would be a different bug, not a smaller one.
+
+Strategy: first jump straight to the floor (most real failures are not
+scale-dependent, so one probe usually finishes the job), then walk each
+dimension down by halving to a fixpoint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro import obs
+from repro.verify.oracle import Case, get_oracle
+
+#: Smallest workload the shrinker will propose.
+MIN_SITES = 1
+MIN_TRACES = 1
+MIN_HORIZON_MS = 50.0
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of shrinking one failing (oracle, case) pair."""
+
+    oracle: str
+    original: Case
+    shrunk: Case
+    failure: str  # failure description at the shrunk case
+    attempts: int  # oracle evaluations spent shrinking
+    steps: List[str] = field(default_factory=list)
+
+    @property
+    def repro_command(self) -> str:
+        return repro_command(self.oracle, self.shrunk)
+
+    def as_dict(self) -> dict:
+        return {
+            "oracle": self.oracle,
+            "original": self.original.as_dict(),
+            "shrunk": self.shrunk.as_dict(),
+            "failure": self.failure,
+            "attempts": self.attempts,
+            "steps": list(self.steps),
+            "repro_command": self.repro_command,
+        }
+
+
+def repro_command(oracle: str, case: Case) -> str:
+    """One-line command that replays exactly this (oracle, case) pair."""
+    return (
+        "PYTHONPATH=src python -m repro.verify"
+        f" --oracles {oracle}"
+        f" --seed-list {case.seed}"
+        f" --sites {case.sites}"
+        f" --traces {case.traces}"
+        f" --horizon-ms {case.horizon_ms:g}"
+    )
+
+
+def _floor(case: Case) -> Case:
+    return dataclasses.replace(
+        case,
+        sites=MIN_SITES,
+        traces=MIN_TRACES,
+        horizon_ms=min(case.horizon_ms, MIN_HORIZON_MS),
+    )
+
+
+def _halve_steps(case: Case) -> List[Tuple[str, Case]]:
+    """Candidate one-dimension reductions of ``case``, largest first."""
+    steps: List[Tuple[str, Case]] = []
+    if case.horizon_ms > MIN_HORIZON_MS:
+        smaller = max(case.horizon_ms / 2.0, MIN_HORIZON_MS)
+        steps.append(
+            (f"horizon_ms {case.horizon_ms:g} -> {smaller:g}",
+             dataclasses.replace(case, horizon_ms=smaller))
+        )
+    if case.sites > MIN_SITES:
+        smaller_sites = max(case.sites // 2, MIN_SITES)
+        steps.append(
+            (f"sites {case.sites} -> {smaller_sites}",
+             dataclasses.replace(case, sites=smaller_sites))
+        )
+    if case.traces > MIN_TRACES:
+        smaller_traces = max(case.traces // 2, MIN_TRACES)
+        steps.append(
+            (f"traces {case.traces} -> {smaller_traces}",
+             dataclasses.replace(case, traces=smaller_traces))
+        )
+    return steps
+
+
+def shrink(oracle_name: str, case: Case, max_attempts: int = 64) -> ShrinkResult:
+    """Minimize a failing case while preserving its failure.
+
+    Raises :class:`ValueError` if ``case`` does not actually fail the
+    oracle (shrinking a passing case would "minimize" noise).
+    """
+    import repro.verify.oracles  # noqa: F401 - registration side effect
+
+    oracle = get_oracle(oracle_name)
+    failure = oracle.run_case(case)
+    attempts = 1
+    if failure is None:
+        raise ValueError(
+            f"case ({case.describe()}) passes oracle {oracle_name!r}; "
+            "there is nothing to shrink"
+        )
+
+    steps: List[str] = []
+    current = case
+    with obs.span("verify.shrink", oracle=oracle_name, seed=int(case.seed)):
+        # Phase 1: probe the floor directly.
+        floor = _floor(current)
+        if floor != current and attempts < max_attempts:
+            floor_failure = oracle.run_case(floor)
+            attempts += 1
+            if floor_failure is not None:
+                steps.append(f"floor probe {current.describe()} -> {floor.describe()}")
+                current, failure = floor, floor_failure
+
+        # Phase 2: halve one dimension at a time to a fixpoint.
+        progressed = True
+        while progressed and attempts < max_attempts:
+            progressed = False
+            for step_label, candidate in _halve_steps(current):
+                if attempts >= max_attempts:
+                    break
+                candidate_failure = oracle.run_case(candidate)
+                attempts += 1
+                if candidate_failure is not None:
+                    steps.append(step_label)
+                    current, failure = candidate, candidate_failure
+                    progressed = True
+                    break  # re-derive candidates from the smaller case
+
+    obs.counter("verify.shrinks").inc()
+    return ShrinkResult(
+        oracle=oracle_name,
+        original=case,
+        shrunk=current,
+        failure=failure,
+        attempts=attempts,
+        steps=steps,
+    )
+
+
+def shrink_report(result: ShrinkResult) -> str:
+    """Human-readable shrink summary ending in the repro command."""
+    lines = [
+        f"shrunk {result.oracle} counterexample in {result.attempts} attempt(s):",
+        f"  {result.original.describe()}  ->  {result.shrunk.describe()}",
+        f"  failure: {result.failure}",
+        f"  repro: {result.repro_command}",
+    ]
+    return "\n".join(lines)
+
+
+__all__ = [
+    "MIN_HORIZON_MS",
+    "MIN_SITES",
+    "MIN_TRACES",
+    "ShrinkResult",
+    "repro_command",
+    "shrink",
+    "shrink_report",
+]

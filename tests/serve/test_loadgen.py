@@ -1,0 +1,113 @@
+"""Tests for the closed-loop load generator.
+
+The regression class covers the silent-under-report bug: a client
+thread dying mid-run used to shrink ``n_requests`` with no error at
+all, which looked exactly like a lighter (but healthy) load.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.loadgen import run_load
+from repro.serve.server import FingerprintServer, PredictResult
+
+
+def _vectors(n=6, dim=120, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(1.0, 0.3, size=dim) for _ in range(n)]
+
+
+class _StubServer:
+    """Duck-typed stand-in recording predict calls, thread-safe."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.calls = 0
+
+    def predict(self, vector, model=None, deadline_ms=None):
+        with self._lock:
+            self.calls += 1
+        return PredictResult(
+            ok=True, label="a.com", confidence=1.0, batch_size=1
+        )
+
+
+class _DyingServer(_StubServer):
+    """Raises out of ``predict`` for one client after a few successes."""
+
+    def __init__(self, dying_client: str, after: int):
+        super().__init__()
+        self._dying = dying_client
+        self._after = after
+        self._per_thread: dict = {}
+
+    def predict(self, vector, model=None, deadline_ms=None):
+        name = threading.current_thread().name
+        with self._lock:
+            seen = self._per_thread.get(name, 0) + 1
+            self._per_thread[name] = seen
+        if name == self._dying and seen > self._after:
+            raise RuntimeError("injected client failure")
+        return super().predict(vector, model=model, deadline_ms=deadline_ms)
+
+
+class TestRunLoad:
+    def test_counts_every_issued_request(self):
+        server = _StubServer()
+        report = run_load(server, _vectors(), clients=3, requests_per_client=5)
+        assert report.n_requests == 15
+        assert report.n_ok == 15
+        assert server.calls == 15
+        assert report.errors == {}
+
+    def test_deterministic_request_stream(self):
+        a, b = _StubServer(), _StubServer()
+        ra = run_load(a, _vectors(), clients=2, requests_per_client=4, seed=9)
+        rb = run_load(b, _vectors(), clients=2, requests_per_client=4, seed=9)
+        assert ra.n_requests == rb.n_requests == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_load(_StubServer(), [], clients=1, requests_per_client=1)
+        with pytest.raises(ValueError):
+            run_load(_StubServer(), _vectors(), clients=0)
+        with pytest.raises(ValueError):
+            run_load(_StubServer(), _vectors(), requests_per_client=0)
+
+
+class TestDeadClientRegression:
+    def test_dead_client_raises_not_underreports(self):
+        """Pre-fix: the exception killed the thread, join() succeeded and
+        the report quietly showed 2 fewer requests.  Now it re-raises."""
+        server = _DyingServer(dying_client="loadgen-1", after=3)
+        with pytest.raises(RuntimeError, match="client 1 failed") as excinfo:
+            run_load(server, _vectors(), clients=3, requests_per_client=5)
+        # The original exception is chained, and the message reports how
+        # many requests the dead client had issued (3 ok + 1 fatal).
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+        assert "injected client failure" in repr(excinfo.value.__cause__)
+        assert "after issuing 4 request(s)" in str(excinfo.value)
+
+    def test_all_clients_dead_counts_each(self):
+        server = _DyingServer(dying_client="loadgen-0", after=0)
+        with pytest.raises(RuntimeError, match=r"1 of 1 load-generator"):
+            run_load(server, _vectors(), clients=1, requests_per_client=2)
+
+
+class TestAgainstRealServer:
+    def test_end_to_end_report(self, registry):
+        vectors = _vectors(n=8, seed=4)
+        with FingerprintServer(registry, max_batch=8, max_wait_ms=1.0) as server:
+            report = run_load(
+                server, vectors, clients=4, requests_per_client=6, seed=1
+            )
+        assert report.n_requests == 24
+        assert report.n_ok == 24
+        assert report.errors == {}
+        assert report.mean_batch >= 1.0
+        assert report.p99_ms >= report.p50_ms >= 0.0
+        assert report.throughput_rps > 0
+        meta = report.meta()
+        assert meta["requests"] == 24 and meta["ok"] == 24

@@ -73,3 +73,39 @@ class TestTopKAccuracy:
     def test_shape_validation(self):
         with pytest.raises(ValueError):
             top_k_accuracy(np.ones(3), np.zeros(3, dtype=int), 1)
+
+    def test_top1_tie_agrees_with_argmax(self):
+        """Regression: the argsort loop put the *higher* index in the
+        top-1 set on a tie, disagreeing with argmax (which crossval and
+        the tables use for plain accuracy)."""
+        probs = np.array([[0.2, 0.4, 0.4, 0.0]])
+        assert top_k_accuracy(probs, [1], 1) == 1.0
+        assert int(np.argmax(probs, axis=1)[0]) == 1
+
+    def test_tie_breaking_is_lower_index_wins(self):
+        # Three classes tied at 0.3: lower indices occupy top slots first.
+        probs = np.array([[0.1, 0.3, 0.3, 0.3]])
+        assert top_k_accuracy(probs, [1], 1) == 1.0
+        assert top_k_accuracy(probs, [2], 2) == 1.0
+        assert top_k_accuracy(probs, [3], 2) == 0.0
+        assert top_k_accuracy(probs, [3], 3) == 1.0
+
+    def test_matches_stable_argsort_reference(self):
+        """On tie-free data the vectorized rank must equal the old
+        membership loop; with ties it must equal a stable descending
+        argsort (lower class index first among equals)."""
+        rng = np.random.default_rng(7)
+        probs = rng.random((100, 12))
+        probs = np.round(probs, 1)  # force plenty of ties
+        labels = rng.integers(0, 12, size=100)
+        for k in (1, 3, 12):
+            # Stable sort on (-p, class index): deterministic reference.
+            order = np.argsort(-probs, axis=1, kind="stable")
+            expected = float(np.mean([labels[i] in order[i, :k] for i in range(100)]))
+            assert top_k_accuracy(probs, labels, k) == expected
+
+    def test_full_k_is_always_one(self):
+        rng = np.random.default_rng(3)
+        probs = rng.random((20, 5))
+        labels = rng.integers(0, 5, size=20)
+        assert top_k_accuracy(probs, labels, 5) == 1.0

@@ -94,6 +94,55 @@ class TestFirstCrossing:
         timer = make()
         assert timer.first_crossing(0.0, 0.0) == 0.0
 
+    def test_read_between_t0_and_crossing_allowed(self):
+        """Regression: the boundary walk used to advance _last_query_ns
+        to the crossing, so a legitimate read at an intermediate real
+        time raised 'timer queried backwards'."""
+        timer = make(seed=3)
+        timer.read(0.0)
+        crossing = timer.first_crossing(0.0, 5 * MS)
+        assert crossing > 0.0
+        timer.read(crossing / 2)  # must not raise
+
+    def test_walked_state_consistent_with_returned_time(self):
+        """Reads after first_crossing match a fresh timer that never
+        called it: the walk peeks at the update stream without
+        consuming it."""
+        walked = make(seed=11)
+        walked.read(0.0)
+        crossing = walked.first_crossing(0.0, 5 * MS)
+        fresh = make(seed=11)
+        fresh.read(0.0)
+        for t in (crossing / 3, crossing, crossing + 7 * MS, crossing + 40 * MS):
+            assert walked.read(t) == fresh.read(t)
+
+    def test_crossing_value_unchanged_by_state_restore(self):
+        """The returned crossing still satisfies the elapsed contract
+        and matches a brute-force scan on an independent timer."""
+        timer = make(seed=5)
+        timer.read(0.0)
+        crossing = timer.first_crossing(0.0, 5 * MS)
+        probe = make(seed=5)
+        start = probe.read(0.0)
+        scan = next(
+            t
+            for t in np.arange(0.0, 500 * MS, 0.25 * MS)
+            if probe.read(float(t)) - start >= 5 * MS
+        )
+        assert crossing == pytest.approx(scan, abs=1 * MS)
+        check = make(seed=5)
+        s0 = check.read(0.0)
+        assert check.read(crossing) - s0 >= 5 * MS
+
+    def test_repeated_crossings_identical(self):
+        """Same t0 and elapsed, asked twice in a row, agree — the first
+        call must not have consumed RNG draws."""
+        timer = make(seed=8)
+        timer.read(0.0)
+        first = timer.first_crossing(0.0, 5 * MS)
+        second = timer.first_crossing(0.0, 5 * MS)
+        assert first == second
+
     def test_negative_elapsed_rejected(self):
         with pytest.raises(ValueError):
             make().first_crossing(0.0, -5.0)
