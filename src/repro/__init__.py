@@ -56,7 +56,10 @@ from repro.workload import (
 # 1.2.0: the repro.verify differential-oracle harness now certifies the
 # 1.1.0 draw order against a retained scalar reference; traces are
 # unchanged, the bump marks the certified surface.
-__version__ = "1.2.0"
+# 1.3.0: the repro.data sharded dataset store lands; traces are
+# unchanged, but the version is recorded in every store manifest as
+# build provenance, so the bump marks the new on-disk surface.
+__version__ = "1.3.0"
 
 __all__ = [
     "CacheStats", "ExecutionEngine", "RunContext", "RunManifest", "TraceCache",

@@ -20,7 +20,10 @@ The default registry covers the layers the ROADMAP cares about:
   serial and cache-less so the measurement is pure compute;
 * ``serve.latency``    — closed-loop wall latency (p50/p99) of the
   micro-batching :class:`~repro.serve.server.FingerprintServer` under
-  concurrent clients hammering a warm feature-backend artifact.
+  concurrent clients hammering a warm feature-backend artifact;
+* ``data.stream``      — warm streaming read throughput of a sharded
+  :mod:`repro.data` store (memory-mapped batches) against loading the
+  same rows from a monolithic compressed ``.npz``.
 """
 
 from __future__ import annotations
@@ -57,6 +60,11 @@ _SYNTH_LOADS = 4
 #: concurrent clients, each sending this many back-to-back requests.
 _SERVE_CLIENTS = 8
 _SERVE_REQUESTS = 24
+
+#: Shape of the ``data.stream`` scenario's synthetic store.
+_STREAM_SHARDS = 16
+_STREAM_ROWS_PER_SHARD = 64
+_STREAM_BATCH = 128
 
 
 @dataclass(frozen=True)
@@ -230,6 +238,77 @@ def _setup_serve_latency(seed: int) -> Callable[[], dict]:
     return work
 
 
+def _setup_data_stream(seed: int) -> Callable[[], dict]:
+    import tempfile
+    import time
+    from pathlib import Path
+
+    from repro.data.format import write_shard
+    from repro.data.manifest import DatasetConfig, DatasetManifest, ShardEntry
+    from repro.data.reader import ShardedDataset
+
+    n_shards, rows_per_shard, length = _STREAM_SHARDS, _STREAM_ROWS_PER_SHARD, 1_500
+    rng = np.random.default_rng([seed, 0xDA7A])
+    store_dir = Path(tempfile.mkdtemp(prefix="biggerfish-data-bench-"))
+    config = DatasetConfig(n_sites=n_shards, traces_per_site=rows_per_shard)
+    manifest = DatasetManifest(
+        config=config, trace_length=length, repro_version="bench", status="building"
+    )
+    parts = []
+    for index in range(n_shards):
+        # Counter-band traces with per-shard structure; float64 noise, so
+        # the monolithic comparison pays a realistic decompression cost.
+        x = 25_000.0 + rng.normal(0.0, 1_500.0, size=(rows_per_shard, length))
+        labels = [f"site{index:02d}" for _ in range(rows_per_shard)]
+        name = f"shard-{index:04d}.npz"
+        info = write_shard(store_dir / name, x, labels, {"bench": True})
+        manifest.shards.append(
+            ShardEntry(
+                name=name,
+                sha256=info.sha256,
+                n_rows=info.n_rows,
+                n_bytes=info.n_bytes,
+                site_start=index,
+                site_stop=index + 1,
+            )
+        )
+        parts.append(x)
+    manifest.status = "complete"
+    manifest.save(store_dir)
+    monolithic = store_dir / "monolithic.npz"
+    all_x = np.concatenate(parts)
+    np.savez_compressed(monolithic, x=all_x)
+    store = ShardedDataset(store_dir)
+    # Warm both paths: page cache for the shards, so work() measures
+    # steady-state read throughput, not first-touch disk latency.
+    for batch, _ in store.stream_batches(_STREAM_BATCH, seed=seed):
+        batch.sum()
+    np.load(monolithic)["x"].sum()
+
+    def work() -> dict:
+        started = time.perf_counter()
+        rows = 0
+        checksum = 0.0
+        for batch, _ in store.stream_batches(_STREAM_BATCH, seed=seed):
+            rows += len(batch)
+            checksum += float(batch[:, 0].sum())
+        stream_s = time.perf_counter() - started
+        started = time.perf_counter()
+        loaded = np.load(monolithic)["x"]
+        checksum += float(loaded[:, 0].sum())
+        monolithic_s = time.perf_counter() - started
+        return {
+            "rows": rows,
+            "trace_length": length,
+            "shards": n_shards,
+            "stream_ms": round(stream_s * 1e3, 3),
+            "monolithic_ms": round(monolithic_s * 1e3, 3),
+            "speedup": round(monolithic_s / stream_s, 2) if stream_s > 0 else 0.0,
+        }
+
+    return work
+
+
 register(
     Scenario(
         name="e2e.table1_smoke",
@@ -251,5 +330,17 @@ register(
         ),
         scale="n/a",
         setup=_setup_serve_latency,
+    )
+)
+register(
+    Scenario(
+        name="data.stream",
+        description=(
+            f"warm mmap streaming read of a {_STREAM_SHARDS}-shard store "
+            f"({_STREAM_SHARDS * _STREAM_ROWS_PER_SHARD}x1500) vs loading "
+            "the same rows from one compressed .npz; meta records both"
+        ),
+        scale="n/a",
+        setup=_setup_data_stream,
     )
 )

@@ -21,7 +21,18 @@ _FORMAT_VERSION = 1
 
 @dataclass
 class TraceDataset:
-    """A labeled trace matrix with collection metadata."""
+    """A labeled trace matrix with collection metadata.
+
+    **Aliasing contract.**  :meth:`select` — and the operations built on
+    it, :meth:`filter_classes` and :meth:`train_test_split` — returns a
+    dataset whose ``x`` is a *view* of this dataset's matrix whenever
+    the selected rows form one contiguous ascending run (the shape class
+    filtering produces on site-ordered collections), and an owned copy
+    otherwise.  In-place writes to a view are visible through the parent
+    and vice versa; callers that need independence should copy
+    explicitly (``dataset.x = dataset.x.copy()``).  :meth:`merge` and
+    :meth:`load` always return owned arrays.
+    """
 
     x: np.ndarray
     labels: list[str]
@@ -59,10 +70,26 @@ class TraceDataset:
     # ------------------------------------------------------------------
 
     def select(self, indices: Sequence[int]) -> "TraceDataset":
-        """Subset by row indices."""
+        """Subset by row indices.
+
+        Contiguous ascending selections slice instead of fancy-indexing,
+        so the result's ``x`` aliases this dataset's matrix (no copy of
+        the trace payload); see the class docstring for the contract.
+        """
         indices = np.asarray(indices, dtype=np.int64)
+        if (
+            len(indices) > 0
+            and indices[0] >= 0
+            and np.array_equal(
+                indices, np.arange(indices[0], indices[0] + len(indices))
+            )
+        ):
+            start = int(indices[0])
+            x = self.x[start : start + len(indices)]
+        else:
+            x = self.x[indices]
         return TraceDataset(
-            x=self.x[indices],
+            x=x,
             labels=[self.labels[int(i)] for i in indices],
             metadata=dict(self.metadata),
         )

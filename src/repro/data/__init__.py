@@ -1,0 +1,45 @@
+"""Sharded, schema-versioned trace-dataset storage.
+
+The paper's pipeline separates slow trace collection from training —
+Shusterman et al. spent days of Selenium time per corpus, and the
+loop-counting variant reproduced here inherits that shape — so datasets
+must outlive the process that collected them.  :mod:`repro.data` stores
+a collection run as content-addressed shards (``shard-XXXX.npz``) plus a
+``dataset.json`` manifest, built in parallel through the
+:class:`~repro.engine.engine.ExecutionEngine` and read back through
+zero-copy memory-mapped handles with a seeded streaming batch iterator.
+
+Layer map (each importable on its own):
+
+* :mod:`repro.data.format` — deterministic shard bytes; mmap reads
+* :mod:`repro.data.manifest` — ``dataset.json`` schema + validation
+* :mod:`repro.data.writer` — parallel, resumable builds; store merging
+* :mod:`repro.data.reader` — :class:`ShardedDataset` + store verification
+* :mod:`repro.data.cli` — ``biggerfish data build/ls/verify/merge``
+
+On-disk format spec and evolution policy: ``docs/DATA.md``.
+"""
+
+from repro.data.format import ShardFormatError
+from repro.data.manifest import (
+    DATA_SCHEMA_VERSION,
+    DataError,
+    DatasetConfig,
+    DatasetManifest,
+    ShardEntry,
+)
+from repro.data.reader import ShardedDataset, verify_store
+from repro.data.writer import build_dataset, merge_stores
+
+__all__ = [
+    "DATA_SCHEMA_VERSION",
+    "DataError",
+    "DatasetConfig",
+    "DatasetManifest",
+    "ShardEntry",
+    "ShardFormatError",
+    "ShardedDataset",
+    "build_dataset",
+    "merge_stores",
+    "verify_store",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.data`` — alias for ``biggerfish data``."""
+
+import sys
+
+from repro.data.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ Usage::
     biggerfish train --out model/ --scale smoke
     biggerfish serve --artifact model/ < requests.jsonl
     biggerfish predict --artifact model/ --scale smoke --check-direct
+    biggerfish data build store/ --sites 20 --traces 30 --jobs 4
 
 Each experiment prints the paper table/figure it regenerates.  The CLI
 caches collected traces on disk by default (``--no-cache`` disables,
@@ -106,7 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment ids (e.g. table1 fig5), 'all', or a subcommand: "
             "'cache info' / 'cache clear' / 'report <run-dir>' / "
-            "'lint [paths]' / 'bench [scenarios]' / 'verify'"
+            "'lint [paths]' / 'bench [scenarios]' / 'verify' / 'data ...'"
         ),
     )
     parser.add_argument("--scale", choices=sorted(SCALES), default="default")
@@ -248,6 +249,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.cli import main as serve_main
 
         return serve_main(argv)
+    if argv and argv[0] == "data":
+        # And the sharded dataset store (build/ls/verify/merge).
+        from repro.data.cli import main as data_main
+
+        return data_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiments and args.experiments[0] == "cache":
         return _cache_command(args)

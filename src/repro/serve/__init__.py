@@ -14,7 +14,7 @@ the ``serve.latency`` benchmark, and :mod:`repro.serve.cli` provides
 the ``biggerfish train / serve / predict`` subcommands.
 """
 
-from repro.serve.loadgen import LoadReport, run_load
+from repro.serve.loadgen import LoadReport, run_load, vectors_from_store
 from repro.serve.registry import ModelRegistry
 from repro.serve.server import ERROR_CODES, FingerprintServer, PredictResult
 
@@ -25,4 +25,5 @@ __all__ = [
     "ModelRegistry",
     "PredictResult",
     "run_load",
+    "vectors_from_store",
 ]

@@ -76,6 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=("feature", "lstm"), default=None,
         help="classifier backend (default: the scale's backend)",
     )
+    train.add_argument(
+        "--dataset", default=None, metavar="DIR",
+        help=(
+            "train from a sharded repro.data store via the streaming reader "
+            "instead of collecting traces (--scale then only picks the "
+            "default backend)"
+        ),
+    )
 
     serve = sub.add_parser("serve", help="answer JSONL requests over stdin/stdout")
     serve.add_argument(
@@ -112,40 +120,69 @@ def build_parser() -> argparse.ArgumentParser:
 # train
 
 
+def _train_matrix_from_store(store_dir: str, seed: int):
+    """Assemble the training set through the streaming reader.
+
+    Batches come from :meth:`~repro.data.reader.ShardedDataset.stream_batches`,
+    whose seeded row permutation is independent of shard layout — so a
+    model trained from any sharding of the same config sees the same
+    rows in the same order, and only one batch of trace data is resident
+    beyond the accumulating matrix at any point.
+    """
+    from repro.data.reader import ShardedDataset
+
+    store = ShardedDataset(store_dir)
+    parts_x, parts_labels = [], []
+    for batch_x, batch_labels in store.stream_batches(256, seed=seed):
+        parts_x.append(batch_x)
+        parts_labels.append(batch_labels)
+    x = np.concatenate(parts_x)
+    labels = np.concatenate(parts_labels).tolist()
+    provenance = {
+        "dataset": str(store_dir),
+        "dataset_config": store.manifest.config.as_dict(),
+        "dataset_rows": store.n_rows,
+    }
+    return x, labels, provenance
+
+
 def _train(args: argparse.Namespace) -> int:
-    from repro.core.pipeline import FingerprintingPipeline
     from repro.ml.encoding import LabelEncoder
     from repro.ml.models import make_fingerprinter
-    from repro.sim.machine import MachineConfig
-    from repro.workload.browser import CHROME
 
     scale = SCALES[args.scale]
     backend = args.backend or scale.backend
-    pipeline = FingerprintingPipeline(
-        MachineConfig(), CHROME, scale=scale, seed=args.seed
-    )
-    print(
-        f"collecting {scale.n_sites} sites x {scale.traces_per_site} traces "
-        f"(scale={scale.name}, seed={args.seed})..."
-    )
-    x, labels = pipeline.collect_closed_world()
+    provenance = {
+        "seed": args.seed,
+        "scale": scale.name,
+        "scale_params": scale.as_dict(),
+        "backend": backend,
+        "trained_by": "biggerfish train",
+    }
+    if args.dataset is not None:
+        print(f"streaming training set from store {args.dataset}...")
+        x, labels, source = _train_matrix_from_store(args.dataset, args.seed)
+        provenance.update(source)
+    else:
+        from repro.core.pipeline import FingerprintingPipeline
+        from repro.sim.machine import MachineConfig
+        from repro.workload.browser import CHROME
+
+        pipeline = FingerprintingPipeline(
+            MachineConfig(), CHROME, scale=scale, seed=args.seed
+        )
+        print(
+            f"collecting {scale.n_sites} sites x {scale.traces_per_site} traces "
+            f"(scale={scale.name}, seed={args.seed})..."
+        )
+        x, labels = pipeline.collect_closed_world()
     encoder = LabelEncoder()
     y = encoder.fit_transform(list(labels))
     print(f"training {backend} backend on {len(x)} traces...")
     model = make_fingerprinter(backend, seed=args.seed)
     model.fit(x, y, encoder.n_classes)
-    path = model.save(
-        args.out,
-        classes=encoder.classes,
-        provenance={
-            "seed": args.seed,
-            "scale": scale.name,
-            "scale_params": scale.as_dict(),
-            "backend": backend,
-            "n_traces": int(len(x)),
-            "trained_by": "biggerfish train",
-        },
-    )
+    provenance["n_traces"] = int(len(x))
+    path = model.save(args.out, classes=encoder.classes, provenance=provenance)
     print(f"wrote artifact: {Path(path).resolve()}")
     return 0
 

@@ -149,4 +149,29 @@ def run_load(
     )
 
 
-__all__ = ["LoadReport", "run_load"]
+def vectors_from_store(
+    store_dir, n: Optional[int] = None, *, seed: int = 0
+) -> List[np.ndarray]:
+    """Draw evaluation trace vectors from a :mod:`repro.data` store.
+
+    Samples ``n`` distinct global rows (all rows when ``n`` is ``None``
+    or exceeds the store) through the reader's page-level gather, so a
+    load run against a terabyte store touches only the rows it sends.
+    The sample is a pure function of ``(store contents, seed)`` — and,
+    because global row indices are layout-independent, of the build
+    config rather than its sharding.
+    """
+    from repro.data.reader import ShardedDataset
+
+    store = ShardedDataset(store_dir)
+    if n is None or n >= store.n_rows:
+        picks = np.arange(store.n_rows)
+    else:
+        if n < 1:
+            raise ValueError(f"need at least one vector, got n={n}")
+        rng = np.random.default_rng([seed, 0xDA7A])
+        picks = np.sort(rng.choice(store.n_rows, size=n, replace=False))
+    return list(store.rows(picks))
+
+
+__all__ = ["LoadReport", "run_load", "vectors_from_store"]

@@ -40,6 +40,16 @@ class PreciseTimer(BrowserTimer):
 
     Used by native attackers (the Rust ``CLOCK_MONOTONIC`` poller of
     §5.2) and as the identity baseline in timer tests.
+
+    >>> timer = PreciseTimer()
+    >>> timer.read(1234.5)
+    1234.5
+    >>> timer.first_crossing(1000.0, 250.0)
+    1250.0
+    >>> timer.first_crossing(0.0, -1.0)
+    Traceback (most recent call last):
+        ...
+    ValueError: elapsed must be non-negative, got -1.0
     """
 
     def read(self, t_real_ns: float) -> float:

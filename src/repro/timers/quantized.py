@@ -17,7 +17,18 @@ from repro.timers.base import BrowserTimer
 
 
 class QuantizedTimer(BrowserTimer):
-    """Floor-quantized timer with resolution ``delta_ns``."""
+    """Floor-quantized timer with resolution ``delta_ns``.
+
+    >>> timer = QuantizedTimer(delta_ns=100.0)
+    >>> timer.read(250.0)
+    200.0
+    >>> timer.read(299.9)
+    200.0
+    >>> timer.first_crossing(250.0, 150.0)  # needs two bucket boundaries
+    400.0
+    >>> timer.first_crossing(250.0, 0.0)
+    250.0
+    """
 
     def __init__(self, delta_ns: float):
         if delta_ns <= 0:
@@ -60,6 +71,16 @@ class JitteredTimer(BrowserTimer):
     deviation from real time is guaranteed to be < 2Δ, and the output is
     non-decreasing because consecutive buckets differ by Δ while ε can
     change by at most Δ.
+
+    >>> timer = JitteredTimer(delta_ns=100.0, seed=1)
+    >>> all(timer.read(t) - t < 2 * 100.0 for t in range(0, 2000, 7))
+    True
+    >>> reads = [timer.read(float(t)) for t in range(0, 2000, 7)]
+    >>> reads == sorted(reads)  # jitter never breaks monotonicity
+    True
+    >>> crossing = timer.first_crossing(0.0, 500.0)
+    >>> timer.read(crossing) - timer.read(0.0) >= 500.0
+    True
     """
 
     def __init__(self, delta_ns: float, seed: int = 0):

@@ -18,6 +18,8 @@ oracle                 mode       certifies
                                   gap construction, stolen-time query algebra
 ``timers.crossing``    invariant  monotone reads + first_crossing contract for
                                   quantized / jittered / randomized timers
+``data.roundtrip``     bit        sharded store build -> streaming read-back ==
+                                  the same collection held in memory
 ====================== ========== =================================================
 
 All callables derive every RNG stream from the case alone, so a failing
@@ -457,6 +459,66 @@ def _check_timers(case: Case) -> Optional[str]:
 
 
 # ----------------------------------------------------------------------
+# data.roundtrip — sharded store build + streaming read vs memory
+# ----------------------------------------------------------------------
+
+
+def _data_config(case: Case):
+    from repro.data.manifest import DatasetConfig
+
+    return DatasetConfig(
+        n_sites=case.sites,
+        traces_per_site=case.traces,
+        trace_seconds=case.horizon_ms / 1000.0,
+        seed=case.seed,
+    )
+
+
+def _data_memory(case: Case) -> dict:
+    """The collection the store should hold, straight from the collector."""
+    from repro.data.writer import collector_for, config_sites
+
+    config = _data_config(case)
+    collector = collector_for(config)
+    x, labels = collector.collect(
+        config_sites(config), config.traces_per_site
+    ).stacked()
+    return {"x": x, "labels": list(labels)}
+
+
+def _data_streamed(case: Case) -> dict:
+    """Build a maximally-sharded store, stream it back, restore row order.
+
+    ``shard_sites=1`` forces one shard per site so the round trip crosses
+    as many shard boundaries as the case allows; reading goes through the
+    seeded streaming iterator (odd batch size, so partial batches are
+    exercised) and the permutation is inverted afterwards — certifying
+    the writer, the mmap reader, the batch gather and the global row
+    order in one comparison.
+    """
+    from repro.data.reader import ShardedDataset
+    from repro.data.writer import build_dataset
+
+    config = _data_config(case)
+    with tempfile.TemporaryDirectory(prefix="biggerfish-verify-") as tmp:
+        store_dir = f"{tmp}/store"
+        build_dataset(store_dir, config, shard_sites=1)
+        store = ShardedDataset(store_dir)
+        x = np.empty((store.n_rows, store.trace_length))
+        labels = np.empty(store.n_rows, dtype=store.labels.dtype)
+        order = store.stream_order(case.seed)
+        cursor = 0
+        for batch_x, batch_labels in store.stream_batches(3, seed=case.seed):
+            rows = order[cursor : cursor + len(batch_x)]
+            x[rows] = batch_x
+            labels[rows] = batch_labels
+            cursor += len(batch_x)
+    if cursor != store.n_rows:
+        raise RuntimeError(f"streamed {cursor} of {store.n_rows} rows")
+    return {"x": x, "labels": [str(label) for label in labels]}
+
+
+# ----------------------------------------------------------------------
 # registration
 # ----------------------------------------------------------------------
 
@@ -528,6 +590,19 @@ register(
         ),
         mode="invariant",
         check=_check_gap_timeline,
+    )
+)
+
+register(
+    Oracle(
+        name="data.roundtrip",
+        description=(
+            "sharded store build -> seeded streaming read-back vs the same "
+            "collection held in memory, rows and labels bit-identical"
+        ),
+        mode="bit",
+        reference=_data_memory,
+        optimized=_data_streamed,
     )
 )
 

@@ -78,6 +78,85 @@ class TestManipulation:
         with pytest.raises(ValueError):
             dataset.train_test_split(test_fraction=0.5)
 
+    def test_single_class_split(self):
+        dataset = make_dataset(n_per_class=10, n_classes=1)
+        train, test = dataset.train_test_split(test_fraction=0.3, seed=2)
+        assert len(train) == 7 and len(test) == 3
+        assert set(train.labels) == set(test.labels) == {"site0.com"}
+
+
+class TestAliasing:
+    """The select/view contract documented on TraceDataset."""
+
+    def test_contiguous_select_returns_view(self):
+        dataset = make_dataset()
+        subset = dataset.select([4, 5, 6, 7])
+        assert np.shares_memory(subset.x, dataset.x)
+        np.testing.assert_array_equal(subset.x, dataset.x[4:8])
+
+    def test_noncontiguous_select_copies(self):
+        dataset = make_dataset()
+        for indices in ([0, 2], [5, 4, 3], [1, 1]):
+            assert not np.shares_memory(dataset.select(indices).x, dataset.x)
+
+    def test_negative_indices_copy_and_match_fancy(self):
+        dataset = make_dataset()
+        subset = dataset.select([-3, -2, -1])
+        assert not np.shares_memory(subset.x, dataset.x)
+        np.testing.assert_array_equal(subset.x, dataset.x[-3:])
+        assert subset.labels == dataset.labels[-3:]
+
+    def test_filter_classes_on_grouped_labels_is_view(self):
+        dataset = make_dataset()  # labels grouped by class
+        filtered = dataset.filter_classes(["site1.com"])
+        assert np.shares_memory(filtered.x, dataset.x)
+
+    def test_merge_owns_its_matrix(self):
+        a = make_dataset(seed=0)
+        merged = a.merge(make_dataset(seed=1))
+        assert not np.shares_memory(merged.x, a.x)
+
+
+class TestEdgeCases:
+    def test_empty_dataset_roundtrip(self, tmp_path):
+        empty = TraceDataset(
+            x=np.empty((0, 20)), labels=[], metadata={"note": "empty"}
+        )
+        assert len(empty) == 0 and empty.n_classes == 0
+        path = tmp_path / "empty.npz"
+        empty.save(path)
+        loaded = TraceDataset.load(path)
+        assert len(loaded) == 0
+        assert loaded.x.shape == (0, 20)
+        assert loaded.metadata == {"note": "empty"}
+
+    def test_empty_select(self):
+        dataset = make_dataset()
+        subset = dataset.select([])
+        assert len(subset) == 0
+        assert subset.trace_length == dataset.trace_length
+
+    def test_metadata_roundtrip_nested(self, tmp_path):
+        metadata = {
+            "seed": 3,
+            "scale": {"n_sites": 4, "backend": "feature"},
+            "notes": ["merged", "subsampled"],
+        }
+        dataset = make_dataset()
+        dataset.metadata = metadata
+        path = tmp_path / "meta.npz"
+        dataset.save(path)
+        assert TraceDataset.load(path).metadata == metadata
+
+    def test_merge_then_subsample_roundtrip(self, tmp_path):
+        merged = make_dataset(seed=0).merge(make_dataset(seed=1))
+        subset = merged.select(range(0, len(merged), 2))
+        path = tmp_path / "subset.npz"
+        subset.save(path)
+        loaded = TraceDataset.load(path)
+        np.testing.assert_array_equal(loaded.x, subset.x)
+        assert loaded.labels == subset.labels
+
 
 class TestPersistence:
     def test_roundtrip(self, tmp_path):

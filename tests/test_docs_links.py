@@ -1,0 +1,95 @@
+"""Tier-1 gate: every markdown link in the shipped docs resolves.
+
+Runs ``tools/check_links.py`` in-process over its default file set
+(``README.md`` + ``docs/*.md``) so a broken relative link or dangling
+anchor fails the test suite, not just the CI docs job.  The unit tests
+below pin the slugification rules the checker relies on.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "check_links", REPO_ROOT / "tools" / "check_links.py"
+)
+check_links = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_links)
+
+
+class TestSlugification:
+    def test_plain_heading(self):
+        assert check_links.github_slug("Streaming reads", {}) == "streaming-reads"
+
+    def test_punctuation_and_code(self):
+        seen = {}
+        slug = check_links.github_slug(
+            "Sharded dataset stores (`repro.data`)", seen
+        )
+        assert slug == "sharded-dataset-stores-reprodata"
+
+    def test_duplicate_headings_get_suffixes(self):
+        seen = {}
+        assert check_links.github_slug("Setup", seen) == "setup"
+        assert check_links.github_slug("Setup", seen) == "setup-1"
+        assert check_links.github_slug("Setup", seen) == "setup-2"
+
+
+class TestChecker:
+    def test_broken_link_detected(self, tmp_path, monkeypatch):
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [missing](no-such-file.md)\n", encoding="utf-8")
+        monkeypatch.setattr(check_links, "REPO_ROOT", tmp_path)
+        problems = check_links.check_file(doc, {})
+        assert len(problems) == 1
+        assert "no-such-file.md" in problems[0]
+
+    def test_bad_anchor_detected(self, tmp_path, monkeypatch):
+        target = tmp_path / "target.md"
+        target.write_text("# Real heading\n", encoding="utf-8")
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [x](target.md#wrong-anchor)\n", encoding="utf-8")
+        monkeypatch.setattr(check_links, "REPO_ROOT", tmp_path)
+        problems = check_links.check_file(doc, {})
+        assert len(problems) == 1
+        assert "wrong-anchor" in problems[0]
+
+    def test_good_anchor_and_fenced_examples_pass(self, tmp_path, monkeypatch):
+        target = tmp_path / "target.md"
+        target.write_text("# Real heading\n", encoding="utf-8")
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "see [x](target.md#real-heading)\n"
+            "```\n[not a link](fenced-away.md)\n```\n"
+            "and `[inline](code-span.md)` too\n",
+            encoding="utf-8",
+        )
+        monkeypatch.setattr(check_links, "REPO_ROOT", tmp_path)
+        assert check_links.check_file(doc, {}) == []
+
+    def test_external_links_skipped(self, tmp_path, monkeypatch):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "[a](https://example.com/x) [b](mailto:x@example.com)\n",
+            encoding="utf-8",
+        )
+        monkeypatch.setattr(check_links, "REPO_ROOT", tmp_path)
+        assert check_links.check_file(doc, {}) == []
+
+
+def test_repo_docs_have_no_broken_links(capsys):
+    """The actual gate: README.md and every docs/*.md file is clean."""
+    status = check_links.main([])
+    out = capsys.readouterr().out
+    assert status == 0, f"broken documentation links:\n{out}"
+
+
+def test_checker_rejects_missing_file():
+    assert check_links.main([str(REPO_ROOT / "does-not-exist.md")]) == 2
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-q"]))

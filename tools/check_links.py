@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's docs — the CI docs hard gate.
+
+Validates every inline markdown link in the checked files:
+
+* **relative links** must resolve to a file or directory in the repo
+  (checked against the filesystem, fragment stripped);
+* **intra-repo anchors** (``docs/CLI.md#environment-variables`` or a
+  bare ``#section``) must match a heading in the target file, using
+  GitHub's slugification (lowercase, spaces to dashes, punctuation
+  dropped, duplicate slugs suffixed ``-1``, ``-2``, ...);
+* **external links** (``http://``, ``https://``, ``mailto:``) are
+  skipped — CI must not depend on the network.
+
+Usage::
+
+    python tools/check_links.py                # README.md + docs/*.md
+    python tools/check_links.py FILE [FILE...]
+
+Exit status: 0 all links resolve, 1 any broken link (each printed as
+``file:line: message``), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target).  Images (![alt](src)) are
+#: matched too — their targets must resolve just the same.
+_LINK_RE = re.compile(r"!?\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: ATX headings; setext headings don't occur in this repo's docs.
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+_FENCE_RE = re.compile(r"^(```|~~~)")
+
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def default_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def github_slug(heading: str, seen: Dict[str, int]) -> str:
+    """GitHub's anchor slug for a heading text, tracking duplicates."""
+    # Strip inline code/emphasis markers and links ([text](url) -> text).
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").replace("*", "").replace("_", " ")
+    slug = text.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    slug = slug.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def heading_slugs(path: Path) -> set:
+    slugs: set = set()
+    seen: Dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if match:
+            slugs.add(github_slug(match.group(2), seen))
+    return slugs
+
+
+def iter_links(path: Path):
+    """Yield ``(line_number, target)`` for links outside code fences."""
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        # Drop inline code spans so `[x](y)` examples aren't checked.
+        stripped = re.sub(r"`[^`]*`", "", line)
+        for match in _LINK_RE.finditer(stripped):
+            yield number, match.group(1)
+
+
+def check_file(path: Path, slug_cache: Dict[Path, set]) -> List[str]:
+    problems: List[str] = []
+    rel = path.relative_to(REPO_ROOT)
+    for line, target in iter_links(path):
+        if target.startswith(_SKIP_SCHEMES):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                problems.append(f"{rel}:{line}: broken link target {target!r}")
+                continue
+        else:
+            resolved = path.resolve()
+        if fragment:
+            if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                # Anchors into non-markdown targets (source files) are
+                # not checkable; the file-existence check above stands.
+                continue
+            if resolved not in slug_cache:
+                slug_cache[resolved] = heading_slugs(resolved)
+            if fragment.lower() not in slug_cache[resolved]:
+                problems.append(
+                    f"{rel}:{line}: anchor #{fragment} not found in "
+                    f"{resolved.relative_to(REPO_ROOT)}"
+                )
+    return problems
+
+
+def main(argv: List[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        files = [Path(arg).resolve() for arg in argv]
+        missing = [f for f in files if not f.exists()]
+        if missing:
+            print(f"check_links: no such file: {missing[0]}", file=sys.stderr)
+            return 2
+    else:
+        files = default_files()
+    slug_cache: Dict[Path, set] = {}
+    problems: List[str] = []
+    for path in files:
+        problems.extend(check_file(path, slug_cache))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"check_links: {len(problems)} broken link(s) in {len(files)} file(s)")
+        return 1
+    print(f"check_links: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
